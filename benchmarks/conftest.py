@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  Results are
+printed and also written to ``benchmarks/results/<name>.txt`` so they
+survive pytest's output capture.  Set ``REPRO_BENCH_SCALE=full`` for the
+larger configurations (closer to the paper's, minutes per table).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+@pytest.fixture
+def report():
+    """Write a named experiment report to disk (and stdout)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _report
+
+
+@pytest.fixture
+def scale():
+    return bench_scale()

@@ -1,0 +1,48 @@
+"""Figure 2: nonterminating executions grow exponentially with the depth
+bound.
+
+The paper runs depth-bounded (unfair) stateless search on the Figure 1
+dining-philosophers program and counts executions that hit the bound.
+Our transition granularity differs from CHESS's, so the depth range is
+scaled; the *shape* — exponential growth — is the reproduced result.
+"""
+
+from repro.bench.experiments import count_nonterminating_executions
+from repro.bench.tables import format_table
+from repro.workloads.dining import dining_philosophers_livelock
+
+
+def run_sweep(depth_bounds, max_seconds):
+    rows = []
+    for depth_bound in depth_bounds:
+        nonterminating, executions, seconds = count_nonterminating_executions(
+            lambda: dining_philosophers_livelock(2),
+            depth_bound,
+            max_executions=300_000,
+            max_seconds=max_seconds,
+        )
+        rows.append((depth_bound, nonterminating, executions,
+                     f"{seconds:.2f}"))
+    return rows
+
+
+def test_fig2_nonterminating_executions(benchmark, report, scale):
+    depth_bounds = (8, 10, 12, 14, 16, 18) if scale == "quick" else \
+        (10, 14, 18, 22, 26, 30)
+    rows = benchmark.pedantic(
+        run_sweep, args=(depth_bounds, 30.0), rounds=1, iterations=1,
+    )
+    report("fig2_nonterminating_executions", format_table(
+        ["depth bound", "nonterminating executions", "total executions",
+         "seconds"],
+        rows,
+        title="Figure 2 — nonterminating executions vs depth bound "
+              "(dining philosophers, Figure 1 program, unfair DFS)",
+    ))
+
+    counts = [row[1] for row in rows]
+    assert counts[0] > 0
+    # Exponential shape: each +4 depth steps should multiply the count;
+    # require strictly increasing and at least 4x overall growth.
+    assert all(b >= a for a, b in zip(counts, counts[1:]))
+    assert counts[-1] >= 4 * max(counts[0], 1)

@@ -1,0 +1,62 @@
+"""Figure 4: emulation of Algorithm 1 on the Figure 3 spin loop.
+
+Regenerates the annotated trace of Figure 4 — the values of P, S(u),
+D(u), E(u) as the scheduler repeatedly runs thread ``u`` — and checks
+every annotation against the paper.
+"""
+
+from repro.bench.tables import format_table
+from repro.core.fairness import FairSchedulerState
+from repro.core.model import StepInfo
+
+BOTH = frozenset({"t", "u"})
+
+
+def fmt(values):
+    return "{" + ",".join(sorted(values)) + "}"
+
+
+def emulate():
+    state = FairSchedulerState(["t", "u"])
+    rows = []
+    labels = [
+        "(a,c) initial",
+        "(a,d) after u: while (x != 1)",
+        "(a,c) after u: yield()",
+        "(a,d) after u: while (x != 1)",
+        "(a,c) after u: yield()",
+    ]
+    transitions = [None, False, True, False, True]
+    for label, yielded in zip(labels, transitions):
+        if yielded is not None:
+            state.observe_step(StepInfo(
+                tid="u", enabled_before=BOTH, enabled_after=BOTH,
+                yielded=yielded,
+            ))
+        rows.append([
+            label,
+            fmt(state.scheduled_since_yield("u")),
+            fmt(state.disabled_by("u")),
+            fmt(state.continuously_enabled("u")),
+            str(sorted(state.priority.edges())),
+            fmt(state.schedulable(BOTH)),
+        ])
+    return rows, state
+
+
+def test_fig4_emulation(benchmark, report):
+    rows, state = benchmark.pedantic(emulate, rounds=1, iterations=1)
+    report("fig4_emulation", format_table(
+        ["state", "S(u)", "D(u)", "E(u)", "P", "T"],
+        rows,
+        title="Figure 4 — Algorithm 1 emulation on the Figure 3 spin loop",
+    ))
+
+    # The paper's annotations, row by row.
+    assert rows[0][1:5] == ["{t,u}", "{t,u}", "{}", "[]"]
+    assert rows[1][1:5] == ["{t,u}", "{t,u}", "{}", "[]"]
+    assert rows[2][1:5] == ["{}", "{}", "{t,u}", "[]"]
+    assert rows[3][1:5] == ["{u}", "{}", "{t,u}", "[]"]
+    assert rows[4][4] == "[('u', 't')]"
+    # After the second yield the scheduler is forced to run t.
+    assert rows[4][5] == "{t}"

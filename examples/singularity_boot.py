@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Section 4.1's headline result, in miniature: boot an OS under the
+checker.
+
+The mini-Singularity kernel boots services in dependency order (spin
+loops on ready flags), runs channel-based IPC between application
+processes and the IO manager, and shuts down in reverse order — all of it
+nonterminating without fairness, none of it modified for the checker.
+An ``EventuallyMonitor`` states the boot-progress liveness property.
+
+Run:  python examples/singularity_boot.py
+"""
+
+from repro import Checker
+from repro.workloads.singularity import singularity_boot
+
+
+def main():
+    print("=== 25 random fair boots (3 apps, 2 IPC requests each) ===")
+    result = Checker(singularity_boot(apps=3, requests_per_app=2),
+                     strategy="random", random_executions=25,
+                     depth_bound=20_000).run()
+    stats = result.exploration
+    print(f"{stats.executions} boots, {stats.transitions} transitions, "
+          f"{'all clean' if result.ok else 'FAILURES'}")
+    assert result.ok
+
+    print("\n=== systematic search, context bound 1 (1 app) ===")
+    result = Checker(singularity_boot(apps=1), depth_bound=800,
+                     preemption_bound=1, max_executions=3000).run()
+    print(f"{result.exploration.executions} schedules explored: "
+          f"{'PASS' if result.ok else 'FAIL'}")
+    assert result.ok
+
+    print("\nBefore fair scheduling, a program like this had to be "
+          "manually\nrewritten to terminate under all schedules — "
+          "'several weeks' per\nprogram, per the paper. Here it runs "
+          "unmodified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the ``wheel``
+package in offline environments (PEP 660 editable installs need it)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,2 @@
+"""Experiment harness: runners and table/series formatting for the
+benchmarks that regenerate every table and figure of the paper."""

@@ -1,0 +1,322 @@
+"""Experiment runners shared by the benchmark suite and EXPERIMENTS.md.
+
+Each function reproduces the measurement behind one of the paper's tables
+or figures, scaled by caps (executions / wall seconds) so the whole
+harness runs on a laptop.  Cells that hit a cap are marked with ``*`` —
+the same convention the paper uses for its 5000-second timeouts.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.model import Program
+from repro.core.policies import fair_policy, nonfair_policy
+from repro.engine.coverage import CoverageTracker
+from repro.engine.executor import ExecutorConfig, RandomChooser, run_execution
+from repro.engine.results import ExplorationResult, Outcome
+from repro.engine.strategies import ExplorationLimits, explore_dfs
+from repro.statespace.stateful import stateful_state_count
+
+# ----------------------------------------------------------------------
+# Figure 2: nonterminating executions vs depth bound
+# ----------------------------------------------------------------------
+
+
+def count_nonterminating_executions(
+    program_factory: Callable[[], Program],
+    depth_bound: int,
+    *,
+    max_executions: int = 200_000,
+    max_seconds: float = 60.0,
+) -> Tuple[int, int, float]:
+    """Unfair depth-bounded DFS; returns (nonterminating, executions, s)."""
+    start = time.perf_counter()
+    result = explore_dfs(
+        program_factory(),
+        nonfair_policy(),
+        ExecutorConfig(depth_bound=depth_bound, on_depth_exceeded="prune"),
+        ExplorationLimits(max_executions=max_executions,
+                          max_seconds=max_seconds,
+                          stop_on_first_violation=False,
+                          stop_on_first_divergence=False),
+    )
+    return (result.nonterminating_executions, result.executions,
+            time.perf_counter() - start)
+
+
+# ----------------------------------------------------------------------
+# Table 2 / Figures 5-6: state coverage and search time
+# ----------------------------------------------------------------------
+
+@dataclass
+class CoverageCell:
+    """One cell of Table 2."""
+
+    strategy: str  # "cb=1".."cb=3" or "dfs"
+    fair: bool
+    depth_bound: Optional[int]  # None for fair runs
+    total_states: int
+    states: int
+    executions: int
+    seconds: float
+    timed_out: bool
+
+    @property
+    def label(self) -> str:
+        mark = "*" if self.timed_out else ""
+        return f"{self.states}{mark}"
+
+    @property
+    def full_coverage(self) -> bool:
+        return self.states >= self.total_states
+
+
+def _strategy_bound(strategy: str) -> Optional[int]:
+    if strategy == "dfs":
+        return None
+    if strategy.startswith("cb="):
+        return int(strategy.split("=", 1)[1])
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def measure_coverage(
+    program_factory: Callable[[], Program],
+    strategy: str,
+    *,
+    fair: bool,
+    depth_bound: Optional[int] = None,
+    divergence_bound: int = 400,
+    total_states: Optional[int] = None,
+    max_executions: int = 50_000,
+    max_seconds: float = 20.0,
+    seed: int = 0,
+) -> CoverageCell:
+    """One Table 2 cell: run the search, count covered states.
+
+    Fair runs use the divergence bound (they terminate by Theorem 2 on
+    fair-terminating programs); unfair runs prune at ``depth_bound`` and
+    finish each pruned execution with random search, as the paper does.
+    """
+    preemption_bound = _strategy_bound(strategy)
+    if total_states is None:
+        truth = stateful_state_count(
+            program_factory(), preemption_bound=preemption_bound,
+            depth_bound=divergence_bound,
+        )
+        total_states = truth.count
+
+    coverage = CoverageTracker()
+    if fair:
+        config = ExecutorConfig(depth_bound=divergence_bound,
+                                on_depth_exceeded="divergence",
+                                preemption_bound=preemption_bound, seed=seed)
+    else:
+        config = ExecutorConfig(depth_bound=depth_bound,
+                                on_depth_exceeded="random-completion",
+                                preemption_bound=preemption_bound, seed=seed)
+    start = time.perf_counter()
+    result = explore_dfs(
+        program_factory(),
+        fair_policy() if fair else nonfair_policy(),
+        config,
+        ExplorationLimits(max_executions=max_executions,
+                          max_seconds=max_seconds,
+                          stop_on_first_violation=False,
+                          stop_on_first_divergence=False),
+        coverage=coverage,
+    )
+    elapsed = time.perf_counter() - start
+    return CoverageCell(
+        strategy=strategy,
+        fair=fair,
+        depth_bound=depth_bound,
+        total_states=total_states,
+        states=coverage.count,
+        executions=result.executions,
+        seconds=elapsed,
+        timed_out=result.limit_hit,
+    )
+
+
+def table2_rows(
+    program_factory: Callable[[], Program],
+    *,
+    strategies: Sequence[str] = ("cb=1", "cb=2", "cb=3", "dfs"),
+    depth_bounds: Sequence[int] = (20, 30, 40),
+    divergence_bound: int = 400,
+    max_executions: int = 50_000,
+    max_seconds: float = 15.0,
+) -> List[List[object]]:
+    """All cells for one program configuration of Table 2.
+
+    Row format: [strategy, total, with-fairness, nf db=..., ...].
+    """
+    rows: List[List[object]] = []
+    for strategy in strategies:
+        preemption_bound = _strategy_bound(strategy)
+        truth = stateful_state_count(
+            program_factory(), preemption_bound=preemption_bound,
+            depth_bound=divergence_bound,
+        )
+        fair_cell = measure_coverage(
+            program_factory, strategy, fair=True,
+            divergence_bound=divergence_bound, total_states=truth.count,
+            max_executions=max_executions, max_seconds=max_seconds,
+        )
+        row: List[object] = [strategy, truth.count, fair_cell.label]
+        cells = [fair_cell]
+        for depth_bound in depth_bounds:
+            cell = measure_coverage(
+                program_factory, strategy, fair=False,
+                depth_bound=depth_bound, divergence_bound=divergence_bound,
+                total_states=truth.count,
+                max_executions=max_executions, max_seconds=max_seconds,
+            )
+            row.append(cell.label)
+            cells.append(cell)
+        row.append(cells)  # raw cells for assertions (stripped on print)
+        rows.append(row)
+    return rows
+
+
+def search_times(
+    program_factory: Callable[[], Program],
+    *,
+    strategies: Sequence[str] = ("cb=1", "cb=2", "cb=3"),
+    depth_bounds: Sequence[int] = (20, 30, 40),
+    divergence_bound: int = 400,
+    max_executions: int = 50_000,
+    max_seconds: float = 15.0,
+) -> List[List[object]]:
+    """Figures 5/6: time to complete the search, fair vs unfair-with-db."""
+    rows: List[List[object]] = []
+    for strategy in strategies:
+        fair_cell = measure_coverage(
+            program_factory, strategy, fair=True,
+            divergence_bound=divergence_bound,
+            max_executions=max_executions, max_seconds=max_seconds,
+        )
+        row: List[object] = [strategy, f"{fair_cell.seconds:.2f}"]
+        cells = [fair_cell]
+        for depth_bound in depth_bounds:
+            cell = measure_coverage(
+                program_factory, strategy, fair=False,
+                depth_bound=depth_bound,
+                divergence_bound=divergence_bound,
+                max_executions=max_executions, max_seconds=max_seconds,
+            )
+            mark = "*" if cell.timed_out else ""
+            row.append(f"{cell.seconds:.2f}{mark}")
+            cells.append(cell)
+        row.append(cells)
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 3: executions and time to the first bug
+# ----------------------------------------------------------------------
+
+@dataclass
+class BugSearchResult:
+    found: bool
+    executions: Optional[int]
+    seconds: float
+    timed_out: bool
+
+    @property
+    def executions_label(self) -> str:
+        return str(self.executions) if self.found else "-"
+
+    @property
+    def seconds_label(self) -> str:
+        if self.found:
+            return f"{self.seconds:.1f}"
+        return f">{self.seconds:.0f}"
+
+
+def find_bug(
+    program_factory: Callable[[], Program],
+    *,
+    fair: bool,
+    preemption_bound: Optional[int] = 2,
+    nonfair_depth_bound: int = 250,
+    divergence_bound: int = 400,
+    max_executions: int = 100_000,
+    max_seconds: float = 30.0,
+) -> BugSearchResult:
+    """Table 3 cell: DFS until the first safety violation.
+
+    The unfair baseline uses the paper's configuration: depth bound 250
+    with random completion.
+    """
+    if fair:
+        config = ExecutorConfig(depth_bound=divergence_bound,
+                                on_depth_exceeded="divergence",
+                                preemption_bound=preemption_bound)
+    else:
+        config = ExecutorConfig(depth_bound=nonfair_depth_bound,
+                                on_depth_exceeded="random-completion",
+                                preemption_bound=preemption_bound)
+    start = time.perf_counter()
+    result = explore_dfs(
+        program_factory(),
+        fair_policy() if fair else nonfair_policy(),
+        config,
+        ExplorationLimits(max_executions=max_executions,
+                          max_seconds=max_seconds,
+                          stop_on_first_violation=True,
+                          stop_on_first_divergence=False),
+    )
+    elapsed = time.perf_counter() - start
+    return BugSearchResult(
+        found=result.found_violation,
+        executions=result.first_violation_execution,
+        seconds=elapsed,
+        timed_out=result.limit_hit,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 1: program characteristics
+# ----------------------------------------------------------------------
+
+def program_characteristics(
+    program: Program,
+    module,
+    *,
+    depth_bound: int = 100_000,
+    seed: int = 0,
+) -> Tuple[str, int, int, int]:
+    """(name, LOC, threads, sync ops) for one full random execution.
+
+    Mirrors Table 1: threads created and synchronization operations
+    performed per execution.  Random scheduling is fair w.p. 1, so the
+    execution terminates.
+    """
+    import inspect
+
+    source = inspect.getsource(module)
+    loc = len([line for line in source.splitlines()
+               if line.strip() and not line.strip().startswith("#")])
+
+    rng = random.Random(seed)
+    record = run_execution(
+        program, fair_policy()(), RandomChooser(rng),
+        ExecutorConfig(depth_bound=depth_bound,
+                       on_depth_exceeded="prune",
+                       trace_window=depth_bound),
+        completion_rng=rng,
+    )
+    if record.outcome not in (Outcome.TERMINATED, Outcome.DEADLOCK):
+        raise RuntimeError(
+            f"{program.name} did not finish a random execution "
+            f"({record.outcome})"
+        )
+    threads = len({step.tid for step in record.trace})
+    sync_ops = sum(1 for step in record.trace if step.operation != "start")
+    return (program.name, loc, threads, sync_ops)

@@ -1,0 +1,36 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render rows as a fixed-width table (the paper's tables, in ASCII)."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append([str(cell) for cell in row])
+    widths = [
+        max(len(line[col]) for line in rendered)
+        for col in range(len(headers))
+    ]
+
+    def fmt(line: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(fmt(rendered[0]))
+    out.append("  ".join("-" * width for width in widths))
+    out.extend(fmt(line) for line in rendered[1:])
+    return "\n".join(out)
+
+
+def format_series(name: str, points: Iterable[tuple]) -> str:
+    """Render an (x, y) series — the figures, as data."""
+    lines = [name]
+    for x, y in points:
+        lines.append(f"  {x!s:>10}  {y}")
+    return "\n".join(lines)

@@ -1,0 +1,319 @@
+"""The top-level checker: fair stateless model checking as a tool.
+
+This is the reproduction of CHESS-with-fairness as users would consume it:
+point it at a :class:`~repro.core.model.Program` and it systematically
+tests the program, reporting
+
+* safety violations (assertions, sync misuse, crashes, deadlocks) with a
+  replayable schedule;
+* livelocks — fair nonterminating executions (Section 2, outcome 3);
+* good-samaritan violations — threads that spin without yielding
+  (Section 2, outcome 2);
+* or a clean verdict when the bounded search space is exhausted.
+
+Example::
+
+    from repro import Checker
+    from repro.workloads.dining import dining_philosophers
+
+    result = Checker(dining_philosophers(2), depth_bound=400).run()
+    print(result.report())
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.model import Program
+from repro.core.policies import PolicyFactory, fair_policy, nonfair_policy
+from repro.engine.coverage import CoverageTracker
+from repro.engine.executor import ExecutorConfig
+from repro.engine.replay import explain_deadlock, replay_schedule
+from repro.engine.results import (
+    DivergenceKind,
+    ExecutionResult,
+    ExplorationResult,
+    Outcome,
+    format_trace,
+)
+from repro.engine.strategies import (
+    ExplorationLimits,
+    explore_bfs,
+    explore_dfs,
+    explore_random,
+    iterative_context_bounding,
+)
+
+
+def _merge_sweeps(program_name: str, policy_name: str,
+                  sweeps) -> ExplorationResult:
+    """Fold the per-bound results of an ICB sweep into one summary."""
+    merged = ExplorationResult(
+        program_name=program_name,
+        policy_name=policy_name,
+        strategy_name=f"icb(<= {len(sweeps) - 1})",
+    )
+    for result in sweeps:
+        merged.executions += result.executions
+        merged.transitions += result.transitions
+        merged.outcomes.update(result.outcomes)
+        merged.violations.extend(result.violations)
+        merged.deadlocks.extend(result.deadlocks)
+        merged.divergences.extend(result.divergences)
+        merged.nonterminating_executions += result.nonterminating_executions
+        merged.wall_seconds += result.wall_seconds
+        merged.limit_hit = merged.limit_hit or result.limit_hit
+        if (result.first_violation_execution is not None
+                and merged.first_violation_execution is None):
+            merged.first_violation_execution = merged.executions
+    merged.complete = all(result.complete for result in sweeps)
+    if sweeps and sweeps[-1].states_covered is not None:
+        merged.states_covered = sweeps[-1].states_covered
+    return merged
+
+#: Divergence kinds that indicate program errors (as opposed to the
+#: unfair divergences a baseline unfair search wastes time on).
+_ERROR_DIVERGENCES = frozenset({
+    DivergenceKind.LIVELOCK,
+    DivergenceKind.GOOD_SAMARITAN_VIOLATION,
+    DivergenceKind.TEMPORAL,
+})
+
+
+@dataclass
+class CheckResult:
+    """Verdict of one checker run."""
+
+    program_name: str
+    exploration: ExplorationResult
+    warnings: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """No safety violation, no deadlock and no erroneous divergence."""
+        if self.exploration.found_violation:
+            return False
+        return not any(
+            r.divergence and r.divergence.kind in _ERROR_DIVERGENCES
+            for r in self.exploration.divergences
+        )
+
+    @property
+    def violation(self) -> Optional[ExecutionResult]:
+        if self.exploration.violations:
+            return self.exploration.violations[0]
+        if self.exploration.deadlocks:
+            return self.exploration.deadlocks[0]
+        return None
+
+    @property
+    def livelock(self) -> Optional[ExecutionResult]:
+        records = self.exploration.livelocks()
+        return records[0] if records else None
+
+    @property
+    def gs_violation(self) -> Optional[ExecutionResult]:
+        records = self.exploration.gs_violations()
+        return records[0] if records else None
+
+    @property
+    def divergence(self) -> Optional[ExecutionResult]:
+        records = self.exploration.divergences
+        return records[0] if records else None
+
+    # ------------------------------------------------------------------
+    def report(self, *, trace_limit: int = 60) -> str:
+        lines = [self.exploration.summary()]
+        record = self.violation
+        if record is not None:
+            label = ("deadlock" if record.violation is None
+                     else str(record.violation))
+            lines.append(f"counterexample ({label}):")
+            lines.append(format_trace(record.trace, limit=trace_limit))
+            lines.append(f"replay schedule: {record.schedule}")
+        for divergent in self.exploration.divergences[:1]:
+            lines.append(f"divergent execution ({divergent.divergence}):")
+            lines.append(format_trace(divergent.trace, limit=trace_limit))
+        lines.extend(f"warning: {w}" for w in self.warnings)
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(f"verdict: {verdict}")
+        return "\n".join(lines)
+
+
+class Checker:
+    """Configure and run fair stateless model checking on one program."""
+
+    def __init__(
+        self,
+        program: Program,
+        *,
+        fairness: bool = True,
+        k_yield: int = 1,
+        strategy: str = "dfs",
+        preemption_bound: Optional[int] = None,
+        depth_bound: Optional[int] = 5000,
+        nonfair_completion: str = "random-completion",
+        max_executions: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+        stop_on_first_violation: bool = True,
+        stop_on_first_divergence: bool = True,
+        random_executions: int = 200,
+        collect_coverage: bool = False,
+        seed: int = 0,
+        policy_factory: Optional[PolicyFactory] = None,
+    ) -> None:
+        self.program = program
+        self.fairness = fairness
+        if policy_factory is not None:
+            self.policy_factory = policy_factory
+        elif fairness:
+            self.policy_factory = fair_policy(k_yield)
+        else:
+            self.policy_factory = nonfair_policy()
+        self.strategy = strategy
+        self.random_executions = random_executions
+        self.seed = seed
+        self.coverage = CoverageTracker() if collect_coverage else None
+        self.config = ExecutorConfig(
+            depth_bound=depth_bound,
+            on_depth_exceeded="divergence" if fairness else nonfair_completion,
+            preemption_bound=preemption_bound,
+            seed=seed,
+        )
+        self.limits = ExplorationLimits(
+            max_executions=max_executions,
+            max_seconds=max_seconds,
+            stop_on_first_violation=stop_on_first_violation,
+            stop_on_first_divergence=stop_on_first_divergence,
+        )
+
+    def run(self) -> CheckResult:
+        if self.strategy == "dfs":
+            exploration = explore_dfs(
+                self.program, self.policy_factory, self.config, self.limits,
+                coverage=self.coverage,
+            )
+        elif self.strategy == "icb":
+            # Iterative context bounding: sweep preemption bounds 0..max
+            # (the PLDI'07 strategy); `preemption_bound` is the ceiling.
+            ceiling = (self.config.preemption_bound
+                       if self.config.preemption_bound is not None else 2)
+            sweeps = iterative_context_bounding(
+                self.program, self.policy_factory, ceiling,
+                dataclasses.replace(self.config, preemption_bound=None),
+                self.limits, coverage=self.coverage,
+                stop_on_violation=self.limits.stop_on_first_violation,
+            )
+            exploration = _merge_sweeps(self.program.name,
+                                        self.policy_factory().name, sweeps)
+        elif self.strategy == "bfs":
+            exploration = explore_bfs(
+                self.program, self.policy_factory, self.config, self.limits,
+                coverage=self.coverage,
+            )
+        elif self.strategy == "random":
+            exploration = explore_random(
+                self.program, self.policy_factory, self.config, self.limits,
+                executions=self.random_executions, seed=self.seed,
+                coverage=self.coverage,
+            )
+        else:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r} "
+                f"(expected 'dfs', 'icb', 'bfs' or 'random')"
+            )
+
+        warnings: List[str] = []
+        if exploration.limit_hit:
+            warnings.append(
+                "search stopped by a resource limit before exhausting the "
+                "bounded execution tree"
+            )
+        for record in exploration.divergences:
+            if record.divergence and record.divergence.kind is DivergenceKind.UNFAIR:
+                warnings.append(
+                    f"unfair divergence observed ({record.divergence.detail}); "
+                    f"enable fairness to prune such schedules"
+                )
+        return CheckResult(
+            program_name=self.program.name,
+            exploration=exploration,
+            warnings=warnings,
+        )
+
+    # ------------------------------------------------------------------
+    def replay(self, record: ExecutionResult) -> ExecutionResult:
+        """Reproduce a counterexample found by :meth:`run` with a full trace."""
+        return replay_schedule(
+            self.program, record.decisions, self.policy_factory, self.config,
+        )
+
+    def explain_deadlock(self, record: ExecutionResult) -> str:
+        """Describe the wait-for set of a deadlocked execution."""
+        return explain_deadlock(
+            self.program, record, self.policy_factory, self.config,
+        )
+
+    def confirm_divergence(self, record: ExecutionResult, *,
+                           factor: int = 8,
+                           max_period: int = 64) -> ExecutionResult:
+        """Re-examine a divergent execution at a much larger bound.
+
+        The paper's protocol: a divergence warning at bound *B* may be a
+        false alarm when *B* is too small — "the user simply increases
+        the bound and runs the model checker again".  A divergence is
+        *demonic*: extending it needs the scheduler to keep making the
+        cycle-preserving choices.  So this detects the period of the
+        recorded schedule's suffix and **pumps** it — replays the
+        schedule with the periodic tail repeated out to ``factor × B``
+        transitions.  If some pumping keeps the program in its cycle the
+        divergence is confirmed (and reclassified over the longer
+        suffix); if every candidate period escapes (the program
+        terminates or the schedule stops fitting), the warning was an
+        artifact of the small bound and the terminating record is
+        returned.
+        """
+        if self.config.depth_bound is None:
+            raise ValueError("confirm_divergence needs a depth bound")
+        target = self.config.depth_bound * factor
+        extended = dataclasses.replace(
+            self.config,
+            depth_bound=target,
+            trace_window=max(512, self.config.depth_bound),
+            divergence_window=max(256, self.config.depth_bound // 2),
+        )
+
+        decisions = list(record.decisions)
+        best: Optional[ExecutionResult] = None
+        for period in range(1, min(max_period, len(decisions) // 2) + 1):
+            if decisions[-period:] != decisions[-2 * period:-period]:
+                continue
+            pattern = [d.index for d in decisions[-period:]]
+            repeats = max(1, (target - len(decisions)) // period + 1)
+            guide = [d.index for d in decisions] + pattern * repeats
+            try:
+                result = replay_schedule(
+                    self.program, guide, self.policy_factory, extended,
+                    trace_window=extended.trace_window,
+                )
+            except ValueError:
+                continue  # the pumped schedule stopped fitting
+            if result.outcome is Outcome.DIVERGENCE:
+                return result  # the cycle pumps: genuinely divergent
+            best = best or result
+        if best is not None:
+            return best
+        # No periodic suffix at all: fall back to default continuation.
+        return replay_schedule(
+            self.program, [d.index for d in decisions],
+            self.policy_factory, extended,
+            trace_window=extended.trace_window,
+        )
+
+
+def check(program: Program, **kwargs) -> CheckResult:
+    """One-shot convenience wrapper around :class:`Checker`."""
+    return Checker(program, **kwargs).run()

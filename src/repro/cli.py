@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``check MODULE:FACTORY`` — model-check a program.  ``FACTORY`` is a
+  zero-or-more-argument callable returning a
+  :class:`~repro.core.model.Program`; positional factory arguments are
+  given with ``-a`` (parsed as Python literals).
+* ``replay REPRO_FILE MODULE:FACTORY`` — replay a saved counterexample.
+* ``demo NAME`` — run a built-in workload demonstration.
+* ``demos`` — list the built-in demonstrations.
+
+Examples::
+
+    python -m repro check repro.workloads.dining:dining_philosophers_livelock -a 2
+    python -m repro demo dining-livelock
+    python -m repro check mymodule:make_program --no-fairness --depth-bound 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import importlib
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.checker import Checker
+from repro.core.model import Program
+from repro.engine.persistence import load_and_replay, save_schedule
+from repro.engine.results import format_trace
+
+
+def _demos() -> Dict[str, Callable[[], Program]]:
+    from repro.workloads.ape import ape_program
+    from repro.workloads.boundedbuffer import bounded_buffer_program
+    from repro.workloads.coherence import coherence_program
+    from repro.workloads.dining import (
+        dining_philosophers,
+        dining_philosophers_livelock,
+    )
+    from repro.workloads.lockfree import treiber_stack_program
+    from repro.workloads.dryad_channels import dryad_pipeline
+    from repro.workloads.promise import promise_program
+    from repro.workloads.singularity import singularity_boot
+    from repro.workloads.spinloop import spinloop, spinloop_no_yield
+    from repro.workloads.workerpool import worker_pool
+    from repro.workloads.wsq import work_stealing_queue
+
+    return {
+        "spinloop": spinloop,
+        "spinloop-no-yield": spinloop_no_yield,
+        "dining": lambda: dining_philosophers(2),
+        "dining-livelock": lambda: dining_philosophers_livelock(2),
+        "wsq": lambda: work_stealing_queue(items=1, stealers=1),
+        "wsq-bug1": lambda: work_stealing_queue(items=1, stealers=1, bug=1),
+        "promise-livelock": lambda: promise_program(2, stale_read_bug=True),
+        "worker-pool-spin": lambda: worker_pool(tasks=1, workers=1),
+        "dryad": lambda: dryad_pipeline(items=1, capacity=1, transforms=0),
+        "ape": lambda: ape_program(items=1, workers=1),
+        "singularity": lambda: singularity_boot(apps=1),
+        "bounded-buffer": lambda: bounded_buffer_program(items=2,
+                                                         consumers=2),
+        "treiber": lambda: treiber_stack_program(items=1, poppers=2),
+        "msi-coherence": lambda: coherence_program(),
+        "msi-livelock": lambda: coherence_program(
+            [[("w", 10)], [("w", 20)]], bug="upgrade-livelock"),
+    }
+
+
+def _resolve_factory(spec: str) -> Callable[..., Program]:
+    if ":" not in spec:
+        raise SystemExit(
+            f"program spec must look like 'package.module:factory', "
+            f"got {spec!r}"
+        )
+    module_name, _, attr = spec.partition(":")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise SystemExit(f"cannot import {module_name!r}: {exc}") from exc
+    factory = getattr(module, attr, None)
+    if factory is None:
+        raise SystemExit(f"{module_name!r} has no attribute {attr!r}")
+    return factory
+
+
+def _build_program(spec: str, raw_args: List[str]) -> Program:
+    factory = _resolve_factory(spec)
+    args = []
+    for raw in raw_args:
+        try:
+            args.append(ast.literal_eval(raw))
+        except (ValueError, SyntaxError):
+            args.append(raw)  # keep as string
+    if not callable(factory):
+        raise SystemExit(f"{spec} is not callable")
+    result = factory(*args)
+    if not isinstance(result, Program):
+        raise SystemExit(
+            f"{spec} returned {type(result).__name__}, expected a Program"
+        )
+    return result
+
+
+def _add_checker_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-fairness", action="store_true",
+                        help="use the classical unfair scheduler")
+    parser.add_argument("--strategy", default="dfs",
+                        choices=["dfs", "icb", "bfs", "random"])
+    parser.add_argument("--depth-bound", type=int, default=5000,
+                        help="divergence bound (fair) / prune bound (unfair)")
+    parser.add_argument("--preemption-bound", type=int, default=None,
+                        help="context bound (max preemptions per execution)")
+    parser.add_argument("--k-yield", type=int, default=1,
+                        help="process every k-th yield (soundness knob)")
+    parser.add_argument("--max-executions", type=int, default=None)
+    parser.add_argument("--max-seconds", type=float, default=None)
+    parser.add_argument("--random-executions", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--coverage", action="store_true",
+                        help="track state coverage (needs state_signature)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="do not stop at the first violation")
+    parser.add_argument("--trace-limit", type=int, default=40)
+    parser.add_argument("--save-repro", metavar="PATH",
+                        help="write the first counterexample's schedule "
+                             "to a repro file")
+
+
+def _make_checker(program: Program, options: argparse.Namespace) -> Checker:
+    return Checker(
+        program,
+        fairness=not options.no_fairness,
+        k_yield=options.k_yield,
+        strategy=options.strategy,
+        preemption_bound=options.preemption_bound,
+        depth_bound=options.depth_bound,
+        max_executions=options.max_executions,
+        max_seconds=options.max_seconds,
+        stop_on_first_violation=not options.keep_going,
+        random_executions=options.random_executions,
+        collect_coverage=options.coverage,
+        seed=options.seed,
+    )
+
+
+def _report_and_save(program: Program, checker: Checker,
+                     options: argparse.Namespace) -> int:
+    result = checker.run()
+    print(result.report(trace_limit=options.trace_limit))
+    record = result.violation or result.divergence
+    if options.save_repro and record is not None:
+        path = save_schedule(
+            options.save_repro, program, record,
+            policy_name=checker.policy_factory().name,
+            config=checker.config,
+        )
+        print(f"repro file written to {path}")
+    return 0 if result.ok else 1
+
+
+def _cmd_check(options: argparse.Namespace) -> int:
+    program = _build_program(options.program, options.factory_arg)
+    checker = _make_checker(program, options)
+    return _report_and_save(program, checker, options)
+
+
+def _cmd_replay(options: argparse.Namespace) -> int:
+    program = _build_program(options.program, options.factory_arg)
+    checker = _make_checker(program, options)
+    record = load_and_replay(options.repro_file, program,
+                             checker.policy_factory, checker.config)
+    print(f"replayed {record.steps} steps; outcome: {record.outcome.value}")
+    if record.violation is not None:
+        print(f"violation: {record.violation}")
+    print(format_trace(record.trace, limit=options.trace_limit))
+    return 0 if record.violation is None else 1
+
+
+def _cmd_demo(options: argparse.Namespace) -> int:
+    demos = _demos()
+    if options.name not in demos:
+        print(f"unknown demo {options.name!r}; try: "
+              f"{', '.join(sorted(demos))}", file=sys.stderr)
+        return 2
+    program = demos[options.name]()
+    options.program = options.name
+    checker = _make_checker(program, options)
+    needs_bound = ("wsq", "wsq-bug1", "dryad", "ape", "singularity",
+                   "bounded-buffer", "treiber", "msi-coherence")
+    if options.name in needs_bound and options.preemption_bound is None:
+        checker.config.preemption_bound = 2
+    return _report_and_save(program, checker, options)
+
+
+def _cmd_demos(options: argparse.Namespace) -> int:
+    for name in sorted(_demos()):
+        print(name)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="fairchess — fair stateless model checking",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check_parser = sub.add_parser("check", help="model-check a program")
+    check_parser.add_argument("program",
+                              help="factory spec: package.module:factory")
+    check_parser.add_argument("-a", "--factory-arg", action="append",
+                              default=[], help="argument for the factory "
+                              "(Python literal); repeatable")
+    _add_checker_options(check_parser)
+    check_parser.set_defaults(func=_cmd_check)
+
+    replay_parser = sub.add_parser("replay", help="replay a repro file")
+    replay_parser.add_argument("repro_file")
+    replay_parser.add_argument("program")
+    replay_parser.add_argument("-a", "--factory-arg", action="append",
+                               default=[])
+    _add_checker_options(replay_parser)
+    replay_parser.set_defaults(func=_cmd_replay)
+
+    demo_parser = sub.add_parser("demo", help="run a built-in demo")
+    demo_parser.add_argument("name")
+    demo_parser.add_argument("-a", "--factory-arg", action="append",
+                             default=[])
+    _add_checker_options(demo_parser)
+    demo_parser.set_defaults(func=_cmd_demo)
+
+    demos_parser = sub.add_parser("demos", help="list built-in demos")
+    demos_parser.set_defaults(func=_cmd_demos)
+
+    options = parser.parse_args(argv)
+    return options.func(options)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Core algorithm layer: the paper's fair demonic scheduler.
+
+This subpackage is pure: it knows nothing about how programs execute.  It
+provides the priority relation ``P`` (:mod:`repro.core.priority`), the
+Algorithm 1 state machine (:mod:`repro.core.fairness`), the scheduling
+policies the engine branches over (:mod:`repro.core.policies`) and the
+abstract program model (:mod:`repro.core.model`).
+"""
+
+from repro.core.fairness import FairSchedulerState
+from repro.core.model import Program, ProgramInstance, RunStatus, StepInfo
+from repro.core.policies import (
+    FairPolicy,
+    NonfairPolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    fair_policy,
+    nonfair_policy,
+    round_robin_policy,
+)
+from repro.core.priority import PriorityRelation
+
+__all__ = [
+    "FairPolicy",
+    "FairSchedulerState",
+    "NonfairPolicy",
+    "PriorityRelation",
+    "Program",
+    "ProgramInstance",
+    "RoundRobinPolicy",
+    "RunStatus",
+    "SchedulingPolicy",
+    "StepInfo",
+    "fair_policy",
+    "nonfair_policy",
+    "round_robin_policy",
+]

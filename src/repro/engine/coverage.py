@@ -1,0 +1,54 @@
+"""State-coverage tracking (the measurement substrate of Table 2).
+
+The checker itself is stateless; coverage measurement is an *observer* that
+hashes state signatures into a set, exactly like the paper's manually added
+facilities.  The tracker also records a coverage-over-executions history so
+the rate-of-coverage plots (Figures 5/6 territory) can be regenerated.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Set, Tuple
+
+
+class CoverageTracker:
+    """Accumulates distinct state signatures across executions."""
+
+    def __init__(self) -> None:
+        self._seen: Set[Hashable] = set()
+        #: (execution_index, cumulative_state_count) checkpoints.
+        self.history: List[Tuple[int, int]] = []
+        self._execution_index = 0
+
+    def record(self, signature: Optional[Hashable]) -> bool:
+        """Record one state; returns True if it was new."""
+        if signature is None:
+            return False
+        before = len(self._seen)
+        self._seen.add(signature)
+        return len(self._seen) != before
+
+    def seen(self, signature: Hashable) -> bool:
+        return signature in self._seen
+
+    def end_execution(self) -> None:
+        """Checkpoint after each execution (for coverage-rate curves)."""
+        self._execution_index += 1
+        self.history.append((self._execution_index, len(self._seen)))
+
+    @property
+    def count(self) -> int:
+        return len(self._seen)
+
+    def signatures(self) -> frozenset:
+        return frozenset(self._seen)
+
+    def missing_from(self, reference: "CoverageTracker") -> frozenset:
+        """Signatures the reference reached that this tracker did not."""
+        return frozenset(reference._seen - self._seen)
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def __repr__(self) -> str:
+        return f"<CoverageTracker states={len(self._seen)}>"

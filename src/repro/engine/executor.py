@@ -1,0 +1,350 @@
+"""Run one execution of a program under a scheduling policy.
+
+This is the inner loop of the stateless model checker: instantiate the
+program, and at every state compute the schedulable set ``T`` from the
+policy, ask the *chooser* which alternative to take, execute the chosen
+transition, and feed the observation back into the policy.  Data
+nondeterminism (``choose(n)``) flows through the same chooser, so the
+recorded decision sequence fully determines the execution — replaying it
+reproduces the run bit-for-bit (stateless exploration).
+
+Context-bounded search (Musuvathi & Qadeer, PLDI 2007) is implemented here
+as preemption accounting with the fairness integration rule of Section 4:
+a context switch forced by the priority relation (the current thread is
+enabled but not schedulable) is *not* counted as a preemption, and neither
+is a switch after a voluntary yield.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.model import Program, ProgramInstance, RunStatus
+from repro.core.policies import SchedulingPolicy
+from repro.engine.classify import classify_divergence
+from repro.engine.coverage import CoverageTracker
+from repro.engine.results import (
+    Decision,
+    DivergenceKind,
+    DivergenceReport,
+    ExecutionResult,
+    Outcome,
+    TraceStep,
+)
+from repro.runtime.errors import PropertyViolation
+
+
+def _temporal_verdict(instance: ProgramInstance) -> Optional[DivergenceReport]:
+    """Consult the instance's temporal liveness monitors at divergence."""
+    for monitor in getattr(instance, "temporal_monitors", ()):
+        message = monitor.verdict()
+        if message is not None:
+            return DivergenceReport(
+                kind=DivergenceKind.TEMPORAL,
+                culprits=(monitor.name,),
+                window=0,
+                detail=message,
+            )
+    return None
+
+@dataclass(frozen=True)
+class PrunePoint:
+    """Where in the execution a pruner is being consulted."""
+
+    steps: int  # transitions executed so far
+    decisions: int  # decisions recorded so far
+    last_tid: object
+    last_was_yield: bool
+    preemptions: int
+
+
+#: Called at every state; returning True prunes the execution.  Used by the
+#: stateful ground-truth search (visited-state pruning).
+Pruner = Callable[[ProgramInstance, PrunePoint], bool]
+
+#: Called after every transition with the live instance; may raise
+#: PropertyViolation to fail the execution.
+Monitor = Callable[[ProgramInstance], None]
+
+
+class Chooser:
+    """Resolves nondeterministic choices; ``pick`` returns an index."""
+
+    def pick(self, kind: str, options: int) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+
+class GuidedChooser(Chooser):
+    """Follow a recorded guide, defaulting to alternative 0 beyond it.
+
+    This single chooser implements both replay (guide covers the whole
+    execution) and DFS extension (guide covers a prefix; the suffix takes
+    the first alternative everywhere and gets recorded for backtracking).
+    """
+
+    def __init__(self, guide: Sequence[int] = ()) -> None:
+        self._guide = list(guide)
+        self._cursor = 0
+
+    def pick(self, kind: str, options: int) -> int:
+        if self._cursor < len(self._guide):
+            index = self._guide[self._cursor]
+            self._cursor += 1
+            if not 0 <= index < options:
+                raise ValueError(
+                    f"replay diverged: guide wants alternative {index} of "
+                    f"{options} at decision {self._cursor - 1}"
+                )
+            return index
+        self._cursor += 1
+        return 0
+
+
+class RandomChooser(Chooser):
+    """Uniform random choices (the paper's random search, reference [17])."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    def pick(self, kind: str, options: int) -> int:
+        if options == 1:
+            return 0
+        return self._rng.randrange(options)
+
+
+@dataclass
+class ExecutorConfig:
+    """Per-execution knobs shared by all strategies."""
+
+    #: Maximum number of transitions before the depth-bound action fires.
+    depth_bound: Optional[int] = None
+    #: What to do at the bound: "divergence" (fair mode: classify and
+    #: report), "prune" (cut the execution), or "random-completion"
+    #: (continue with random scheduling until natural termination — the
+    #: baseline configuration of Table 2).
+    on_depth_exceeded: str = "divergence"
+    #: Safety cap on random completion, in transitions past the bound.
+    #: Random scheduling is fair with probability 1, so fair-terminating
+    #: programs finish well within this; genuinely livelocked programs
+    #: burn the whole cap on every pruned execution, so keep it modest.
+    random_completion_cap: int = 2000
+    #: Context bound: maximum preemptions per execution (None = unbounded).
+    preemption_bound: Optional[int] = None
+    #: Count fairness-forced switches as preemptions (the paper says not
+    #: to; True only for the ablation benchmark).
+    count_fairness_preemptions: bool = False
+    #: Ring-buffer size for the recorded trace.
+    trace_window: int = 512
+    #: Suffix length analyzed by the divergence classifier.
+    divergence_window: int = 256
+    gs_schedule_threshold: int = 8
+    monitors: Sequence[Monitor] = field(default_factory=tuple)
+    #: Random seed for random completion (per-execution rng derives from
+    #: the strategy's rng when provided there instead).
+    seed: int = 0
+    #: Keep the final program instance on the result (skips instance
+    #: teardown; used by post-mortem inspection like deadlock reports).
+    keep_instance: bool = False
+
+
+def _sorted_options(values) -> list:
+    try:
+        return sorted(values)
+    except TypeError:
+        return sorted(values, key=repr)
+
+
+def run_execution(
+    program: Program,
+    policy: SchedulingPolicy,
+    chooser: Chooser,
+    config: ExecutorConfig,
+    *,
+    coverage: Optional[CoverageTracker] = None,
+    pruner: Optional[Pruner] = None,
+    completion_rng: Optional[random.Random] = None,
+) -> ExecutionResult:
+    """Execute the program once under ``policy``, steering with ``chooser``."""
+    instance = program.instantiate()
+    for tid in _sorted_options(instance.thread_ids()):
+        policy.register_thread(tid)
+
+    decisions: List[Decision] = []
+    trace: deque = deque(maxlen=config.trace_window)
+    steps = 0
+    preemptions = 0
+    last_tid: object = None
+    last_was_yield = False
+    hit_depth_bound = False
+    completing_randomly = False
+    completion_chooser: Optional[Chooser] = None
+    violation: Optional[PropertyViolation] = None
+    outcome = Outcome.TERMINATED
+    divergence = None
+
+    def current_chooser() -> Chooser:
+        return completion_chooser if completing_randomly else chooser
+
+    def data_choice_handler(n: int) -> int:
+        index = current_chooser().pick("data", n)
+        if not completing_randomly:
+            decisions.append(Decision("data", index, n, index))
+        return index
+
+    if hasattr(instance, "data_choice_handler"):
+        instance.data_choice_handler = data_choice_handler
+
+    name_cache: dict = {}
+
+    def thread_name(tid: object) -> str:
+        name = name_cache.get(tid)
+        if name is None:
+            getter = getattr(instance, "task", None)
+            if getter is not None:
+                try:
+                    name = getter(tid).name
+                except Exception:  # noqa: BLE001 - lookup is cosmetic
+                    name = str(tid)
+            else:
+                name = str(tid)
+            name_cache[tid] = name
+        return name
+
+    while True:
+        if coverage is not None:
+            coverage.record(instance.state_signature())
+        if pruner is not None and pruner(
+            instance,
+            PrunePoint(
+                steps=steps,
+                decisions=len(decisions),
+                last_tid=last_tid,
+                last_was_yield=last_was_yield,
+                preemptions=preemptions,
+            ),
+        ):
+            outcome = Outcome.VISITED_PRUNED
+            break
+
+        enabled = instance.enabled_threads()
+        if not enabled:
+            status = instance.status()
+            outcome = (Outcome.TERMINATED if status is RunStatus.TERMINATED
+                       else Outcome.DEADLOCK)
+            break
+
+        # Depth-bound handling (before extending the execution).
+        if (config.depth_bound is not None and steps >= config.depth_bound
+                and not completing_randomly):
+            hit_depth_bound = True
+            if config.on_depth_exceeded == "divergence":
+                # Analyze at most the last half of the execution: the
+                # prefix is ordinary progress, only the tail exhibits the
+                # divergence.
+                window = max(16, min(config.divergence_window, steps // 2))
+                divergence = _temporal_verdict(instance) or classify_divergence(
+                    trace,
+                    window=window,
+                    gs_schedule_threshold=config.gs_schedule_threshold,
+                )
+                outcome = Outcome.DIVERGENCE
+                break
+            if config.on_depth_exceeded == "prune":
+                outcome = Outcome.DEPTH_PRUNED
+                break
+            if config.on_depth_exceeded == "random-completion":
+                completing_randomly = True
+                rng = completion_rng or random.Random(config.seed)
+                completion_chooser = RandomChooser(rng)
+            else:
+                raise ValueError(
+                    f"unknown on_depth_exceeded mode "
+                    f"{config.on_depth_exceeded!r}"
+                )
+        if (completing_randomly and config.depth_bound is not None
+                and steps >= config.depth_bound + config.random_completion_cap):
+            outcome = Outcome.DEPTH_PRUNED
+            break
+
+        schedulable = policy.schedulable(enabled)
+        if not schedulable:
+            raise AssertionError(
+                "schedulable set empty while threads are enabled — "
+                "Theorem 3 broken (or a non-conforming policy)"
+            )
+
+        # ---- context bounding -----------------------------------------
+        options = _sorted_options(schedulable)
+        switch_costs_preemption = False
+        if config.preemption_bound is not None and not completing_randomly:
+            if last_tid is not None and last_tid in enabled and not last_was_yield:
+                if last_tid in schedulable:
+                    switch_costs_preemption = True
+                elif config.count_fairness_preemptions:
+                    switch_costs_preemption = True  # ablation mode
+                # else: fairness-forced switch — free, per Section 4.
+            if switch_costs_preemption and preemptions >= config.preemption_bound:
+                if last_tid in schedulable:
+                    options = [last_tid]
+                    switch_costs_preemption = False
+                else:
+                    # Ablation corner: every available choice would exceed
+                    # the bound; the execution falls outside the search.
+                    outcome = Outcome.DEPTH_PRUNED
+                    hit_depth_bound = False
+                    break
+
+        index = current_chooser().pick("thread", len(options))
+        if not completing_randomly:
+            decisions.append(Decision("thread", index, len(options),
+                                      options[index]))
+        tid = options[index]
+        if switch_costs_preemption and tid != last_tid:
+            preemptions += 1
+
+        try:
+            info = instance.step(tid)
+            for monitor in config.monitors:
+                monitor(instance)
+            for local_monitor in getattr(instance, "monitors", ()):
+                local_monitor()
+            for temporal in getattr(instance, "temporal_monitors", ()):
+                temporal.observe()
+        except PropertyViolation as exc:
+            violation = exc
+            outcome = Outcome.VIOLATION
+            trace.append(TraceStep(tid, thread_name(tid), f"† {exc}", False,
+                                   enabled))
+            steps += 1
+            break
+
+        policy.observe_step(info)
+        trace.append(TraceStep(tid, thread_name(tid), info.operation,
+                               info.yielded, enabled))
+        steps += 1
+        last_tid = tid
+        last_was_yield = info.yielded
+
+    if not config.keep_instance:
+        closer = getattr(instance, "close", None)
+        if closer is not None:
+            closer()
+    completed_randomly = completing_randomly and outcome in (
+        Outcome.TERMINATED, Outcome.DEADLOCK)
+    result = ExecutionResult(
+        outcome=outcome,
+        decisions=decisions,
+        steps=steps,
+        preemptions=preemptions,
+        violation=violation,
+        divergence=divergence,
+        trace=tuple(trace),
+        hit_depth_bound=hit_depth_bound,
+        completed_randomly=completed_randomly,
+    )
+    if config.keep_instance:
+        result.final_instance = instance
+    return result

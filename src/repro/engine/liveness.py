@@ -1,0 +1,109 @@
+"""Temporal liveness monitors (the paper's future work, Section 6).
+
+CHESS as published checks two liveness properties: fair termination and the
+good-samaritan rule.  The conclusions propose extending it to *arbitrary*
+liveness properties; this module implements the most useful family for
+multithreaded software — **response properties**::
+
+    GF trigger  ⇒  GF response
+    ("if the trigger keeps happening, the response keeps happening")
+
+evaluated, like the paper's built-in properties, on the suffix of a
+divergent execution.  A monitor observes the two state predicates at every
+transition; when an execution exceeds the divergence bound, the checker
+asks each monitor for a verdict over the recorded window.
+
+Example — "every enqueue is eventually dequeued"::
+
+    def setup(env):
+        q = Channel(name="q")
+        ...
+        env.add_temporal_monitor(ResponseMonitor(
+            trigger=lambda: q.size() > 0,
+            response=lambda: q.size() == 0,
+            name="queue-drains",
+        ))
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+
+class TemporalMonitor:
+    """Base class: observes every state, judges divergent suffixes."""
+
+    name = "temporal"
+
+    def observe(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def verdict(self) -> Optional[str]:
+        """Return a violation message, or None if the property holds on the
+        observed window."""
+        raise NotImplementedError
+
+
+class ResponseMonitor(TemporalMonitor):
+    """``GF trigger ⇒ GF response`` over the divergence window.
+
+    The property is judged violated when, within the observed window, the
+    trigger held at least ``min_occurrences`` times after the last state in
+    which the response held.
+    """
+
+    def __init__(
+        self,
+        trigger: Callable[[], bool],
+        response: Callable[[], bool],
+        name: str = "response",
+        *,
+        window: int = 256,
+        min_occurrences: int = 8,
+    ) -> None:
+        self.name = name
+        self._trigger = trigger
+        self._response = response
+        self._events: deque = deque(maxlen=window)
+        self._min = min_occurrences
+
+    def observe(self) -> None:
+        self._events.append((bool(self._trigger()), bool(self._response())))
+
+    def verdict(self) -> Optional[str]:
+        pending = 0
+        for triggered, responded in self._events:
+            if responded:
+                pending = 0
+            elif triggered:
+                pending += 1
+        if pending >= self._min:
+            return (
+                f"response property {self.name!r} violated: trigger held "
+                f"{pending} times with no response in the divergence window"
+            )
+        return None
+
+
+class EventuallyMonitor(TemporalMonitor):
+    """``F goal`` — the goal predicate must hold at least once before the
+    execution diverges.  Useful for progress obligations like "the boot
+    sequence reaches the running state"."""
+
+    def __init__(self, goal: Callable[[], bool], name: str = "eventually") -> None:
+        self.name = name
+        self._goal = goal
+        self._satisfied = False
+
+    def observe(self) -> None:
+        if not self._satisfied and self._goal():
+            self._satisfied = True
+
+    def verdict(self) -> Optional[str]:
+        if self._satisfied:
+            return None
+        return (
+            f"liveness property {self.name!r} violated: the goal never "
+            f"held before the execution diverged"
+        )

@@ -1,0 +1,37 @@
+"""Safety monitors: user-supplied checks evaluated at every state.
+
+A monitor is any callable raising
+:class:`~repro.runtime.errors.PropertyViolation` to fail the execution.
+Monitors can be installed globally (``ExecutorConfig.monitors``, called
+with the live program instance) or per program instance from its setup
+function (``env.add_monitor``, a zero-argument closure over that
+instance's shared objects).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.runtime.errors import AssertionViolation
+
+
+def invariant(predicate: Callable[[], bool], message: str) -> Callable[[], None]:
+    """A monitor that requires ``predicate()`` to hold in every state."""
+
+    def monitor() -> None:
+        if not predicate():
+            raise AssertionViolation(f"invariant violated: {message}")
+
+    monitor.__name__ = f"invariant:{message}"
+    return monitor
+
+
+def never(predicate: Callable[[], bool], message: str) -> Callable[[], None]:
+    """A monitor that forbids ``predicate()`` from ever holding."""
+
+    def monitor() -> None:
+        if predicate():
+            raise AssertionViolation(f"forbidden state reached: {message}")
+
+    monitor.__name__ = f"never:{message}"
+    return monitor

@@ -1,0 +1,119 @@
+"""Schedule persistence: CHESS-style repro files.
+
+A counterexample found on one machine must be reproducible on another;
+CHESS writes a *repro file* with the schedule and enough configuration to
+replay it.  This module serializes an :class:`ExecutionResult`'s schedule
+together with the policy/config fingerprint needed for faithful replay,
+as stable JSON.
+
+The program itself is referenced by name only — replay requires the same
+program factory (same code version), which is checked loosely via the
+recorded name and decision count.
+
+::
+
+    save_schedule("bug.json", program, record, policy_name="fair",
+                  config=config)
+    record = load_and_replay("bug.json", program, fair_policy(), config)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.model import Program
+from repro.core.policies import PolicyFactory
+from repro.engine.executor import ExecutorConfig
+from repro.engine.replay import replay_schedule
+from repro.engine.results import ExecutionResult
+
+FORMAT_VERSION = 1
+
+
+def schedule_to_dict(program: Program, record: ExecutionResult, *,
+                     policy_name: str = "",
+                     config: Optional[ExecutorConfig] = None) -> dict:
+    """A JSON-serializable repro record."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "program": program.name,
+        "policy": policy_name,
+        "outcome": record.outcome.value,
+        "steps": record.steps,
+        "schedule": record.schedule,
+        "decisions": [
+            {"kind": d.kind, "index": d.index, "options": d.options}
+            for d in record.decisions
+        ],
+    }
+    if record.violation is not None:
+        payload["violation"] = str(record.violation)
+    if record.divergence is not None:
+        payload["divergence"] = {
+            "kind": record.divergence.kind.value,
+            "detail": record.divergence.detail,
+        }
+    if config is not None:
+        payload["config"] = {
+            "depth_bound": config.depth_bound,
+            "on_depth_exceeded": config.on_depth_exceeded,
+            "preemption_bound": config.preemption_bound,
+        }
+    return payload
+
+
+def save_schedule(path: Union[str, Path], program: Program,
+                  record: ExecutionResult, *, policy_name: str = "",
+                  config: Optional[ExecutorConfig] = None) -> Path:
+    """Write a repro file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(
+        schedule_to_dict(program, record, policy_name=policy_name,
+                         config=config),
+        indent=2, sort_keys=True,
+    ) + "\n")
+    return path
+
+
+def load_schedule(path: Union[str, Path]) -> dict:
+    """Read and validate a repro file."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported repro-file format {payload.get('format')!r}"
+        )
+    if not isinstance(payload.get("schedule"), list):
+        raise ValueError("repro file has no schedule")
+    return payload
+
+
+def load_and_replay(
+    path: Union[str, Path],
+    program: Program,
+    policy_factory: PolicyFactory,
+    config: Optional[ExecutorConfig] = None,
+) -> ExecutionResult:
+    """Replay a repro file against the (same) program.
+
+    Raises :class:`ValueError` when the file was recorded against a
+    program with a different name, or when the schedule no longer fits
+    the program's choice tree (code drift).
+    """
+    payload = load_schedule(path)
+    if payload["program"] != program.name:
+        raise ValueError(
+            f"repro file was recorded for {payload['program']!r}, "
+            f"got {program.name!r}"
+        )
+    if config is None and "config" in payload:
+        stored = payload["config"]
+        config = ExecutorConfig(
+            depth_bound=stored.get("depth_bound"),
+            on_depth_exceeded=stored.get("on_depth_exceeded", "divergence"),
+            preemption_bound=stored.get("preemption_bound"),
+        )
+    return replay_schedule(program, payload["schedule"], policy_factory,
+                           config)

@@ -1,0 +1,27 @@
+"""Search strategies over the stateless execution tree."""
+
+from repro.engine.strategies.base import (
+    Aggregator,
+    ExplorationLimits,
+    next_dfs_guide,
+)
+from repro.engine.strategies.bfs import explore_bfs
+from repro.engine.strategies.context_bound import (
+    explore_context_bounded,
+    iterative_context_bounding,
+)
+from repro.engine.strategies.dfs import explore_dfs
+from repro.engine.strategies.por import explore_dfs_sleepsets
+from repro.engine.strategies.random_walk import explore_random
+
+__all__ = [
+    "Aggregator",
+    "ExplorationLimits",
+    "explore_bfs",
+    "explore_context_bounded",
+    "explore_dfs",
+    "explore_dfs_sleepsets",
+    "explore_random",
+    "iterative_context_bounding",
+    "next_dfs_guide",
+]

@@ -1,0 +1,109 @@
+"""Shared scaffolding for search strategies."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.engine.coverage import CoverageTracker
+from repro.engine.results import ExecutionResult, ExplorationResult, Outcome
+
+
+@dataclass
+class ExplorationLimits:
+    """Resource limits for a systematic search."""
+
+    max_executions: Optional[int] = None
+    max_seconds: Optional[float] = None
+    stop_on_first_violation: bool = True
+    stop_on_first_divergence: bool = True
+    #: How many violating/divergent executions to keep in full.
+    keep_records: int = 16
+
+
+class Aggregator:
+    """Accumulates per-execution results into an :class:`ExplorationResult`."""
+
+    def __init__(
+        self,
+        program_name: str,
+        policy_name: str,
+        strategy_name: str,
+        limits: ExplorationLimits,
+        coverage: Optional[CoverageTracker] = None,
+        listener: Optional[Callable[[ExecutionResult], None]] = None,
+    ) -> None:
+        self.limits = limits
+        self.coverage = coverage
+        self._listener = listener
+        self._start = time.perf_counter()
+        self.result = ExplorationResult(
+            program_name=program_name,
+            policy_name=policy_name,
+            strategy_name=strategy_name,
+        )
+
+    def add(self, record: ExecutionResult) -> Optional[str]:
+        """Fold in one execution; returns a stop reason or None."""
+        res = self.result
+        res.executions += 1
+        res.transitions += record.steps
+        res.outcomes[record.outcome] += 1
+        if record.hit_depth_bound:
+            res.nonterminating_executions += 1
+        if self.coverage is not None:
+            self.coverage.end_execution()
+        if record.outcome is Outcome.VIOLATION:
+            if len(res.violations) < self.limits.keep_records:
+                res.violations.append(record)
+            if res.first_violation_execution is None:
+                res.first_violation_execution = res.executions
+        elif record.outcome is Outcome.DEADLOCK:
+            if len(res.deadlocks) < self.limits.keep_records:
+                res.deadlocks.append(record)
+            if res.first_violation_execution is None:
+                res.first_violation_execution = res.executions
+        elif record.outcome is Outcome.DIVERGENCE:
+            if len(res.divergences) < self.limits.keep_records:
+                res.divergences.append(record)
+        if self._listener is not None:
+            self._listener(record)
+
+        if (self.limits.stop_on_first_violation
+                and record.outcome in (Outcome.VIOLATION, Outcome.DEADLOCK)):
+            return "violation"
+        if (self.limits.stop_on_first_divergence
+                and record.outcome is Outcome.DIVERGENCE):
+            return "divergence"
+        if (self.limits.max_executions is not None
+                and res.executions >= self.limits.max_executions):
+            return "max-executions"
+        if (self.limits.max_seconds is not None
+                and time.perf_counter() - self._start >= self.limits.max_seconds):
+            return "max-seconds"
+        return None
+
+    def finish(self, *, complete: bool, stop_reason: Optional[str]) -> ExplorationResult:
+        res = self.result
+        res.wall_seconds = time.perf_counter() - self._start
+        res.complete = complete
+        res.limit_hit = stop_reason in ("max-executions", "max-seconds")
+        if self.coverage is not None:
+            res.states_covered = self.coverage.count
+        return res
+
+
+def next_dfs_guide(decisions) -> Optional[list]:
+    """Backtrack: the guide for the next execution in DFS order, or None
+    when the (bounded) execution tree is exhausted.
+
+    Finds the deepest decision with an untried alternative, bumps it, and
+    truncates everything below — the core of stateless depth-first search.
+    """
+    i = len(decisions) - 1
+    while i >= 0 and decisions[i].index + 1 >= decisions[i].options:
+        i -= 1
+    if i < 0:
+        return None
+    return [d.index for d in decisions[:i]] + [decisions[i].index + 1]

@@ -1,0 +1,71 @@
+"""Breadth-first exploration.
+
+Section 3 of the paper notes the nondeterministic scheduler "is easy to
+augment ... with a queue to perform breadth-first search".  Stateless BFS
+replays one execution per *node* of the choice tree (not per leaf), which
+makes it considerably more expensive than DFS; it is provided for
+completeness and for finding shortest counterexamples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.core.model import Program
+from repro.core.policies import PolicyFactory
+from repro.engine.coverage import CoverageTracker
+from repro.engine.executor import ExecutorConfig, GuidedChooser, run_execution
+from repro.engine.results import ExecutionResult, ExplorationResult
+from repro.engine.strategies.base import Aggregator, ExplorationLimits
+
+
+def explore_bfs(
+    program: Program,
+    policy_factory: PolicyFactory,
+    config: Optional[ExecutorConfig] = None,
+    limits: Optional[ExplorationLimits] = None,
+    *,
+    coverage: Optional[CoverageTracker] = None,
+    listener: Optional[Callable[[ExecutionResult], None]] = None,
+) -> ExplorationResult:
+    """Search the choice tree level by level.
+
+    Every queue entry is a decision prefix; running it discovers the
+    branching factor at its frontier, producing one child prefix per
+    alternative.  Prefixes that turn out to be complete executions are
+    leaves.
+    """
+    config = config or ExecutorConfig()
+    limits = limits or ExplorationLimits()
+    policy_probe = policy_factory()
+    aggregator = Aggregator(
+        program_name=program.name,
+        policy_name=policy_probe.name,
+        strategy_name="bfs",
+        limits=limits,
+        coverage=coverage,
+        listener=listener,
+    )
+
+    queue = deque([[]])
+    stop_reason: Optional[str] = None
+    while queue:
+        guide = queue.popleft()
+        record = run_execution(
+            program,
+            policy_factory(),
+            GuidedChooser(guide),
+            config,
+            coverage=coverage,
+        )
+        stop_reason = aggregator.add(record)
+        if stop_reason is not None:
+            break
+        if len(record.decisions) > len(guide):
+            frontier = record.decisions[len(guide)]
+            for alternative in range(frontier.options):
+                queue.append(guide + [alternative])
+
+    complete = not queue and stop_reason is None
+    return aggregator.finish(complete=complete, stop_reason=stop_reason)

@@ -1,0 +1,78 @@
+"""Context-bounded search (Musuvathi & Qadeer, PLDI 2007) + fairness.
+
+A *preemption* is a context switch forced by the scheduler while the
+current thread is still enabled.  Context-bounded search explores only
+executions with at most ``c`` preemptions; empirically most bugs need very
+few.  Table 2 of the fair-scheduling paper evaluates ``cb = 1..3``.
+
+Integration with fairness (Section 4): a switch forced by the priority
+relation — the running thread is enabled but no longer schedulable — is
+**not** counted against the bound, otherwise fair search would be unsound
+at small bounds.  The accounting itself lives in the executor; this module
+provides the strategy wrappers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+from repro.core.model import Program
+from repro.core.policies import PolicyFactory
+from repro.engine.coverage import CoverageTracker
+from repro.engine.executor import ExecutorConfig
+from repro.engine.results import ExecutionResult, ExplorationResult
+from repro.engine.strategies.base import ExplorationLimits
+from repro.engine.strategies.dfs import explore_dfs
+
+
+def explore_context_bounded(
+    program: Program,
+    policy_factory: PolicyFactory,
+    bound: int,
+    config: Optional[ExecutorConfig] = None,
+    limits: Optional[ExplorationLimits] = None,
+    *,
+    coverage: Optional[CoverageTracker] = None,
+    listener: Optional[Callable[[ExecutionResult], None]] = None,
+) -> ExplorationResult:
+    """DFS over all executions with at most ``bound`` preemptions."""
+    if bound < 0:
+        raise ValueError("preemption bound must be non-negative")
+    config = dataclasses.replace(config or ExecutorConfig(),
+                                 preemption_bound=bound)
+    return explore_dfs(
+        program,
+        policy_factory,
+        config,
+        limits,
+        coverage=coverage,
+        listener=listener,
+        strategy_name=f"cb={bound}",
+    )
+
+
+def iterative_context_bounding(
+    program: Program,
+    policy_factory: PolicyFactory,
+    max_bound: int,
+    config: Optional[ExecutorConfig] = None,
+    limits: Optional[ExplorationLimits] = None,
+    *,
+    coverage: Optional[CoverageTracker] = None,
+    stop_on_violation: bool = True,
+) -> List[ExplorationResult]:
+    """Run searches with bounds 0, 1, ..., ``max_bound`` in order.
+
+    Returns one :class:`ExplorationResult` per bound; stops early at the
+    first bound that finds a violation when ``stop_on_violation`` is set.
+    """
+    results: List[ExplorationResult] = []
+    for bound in range(max_bound + 1):
+        result = explore_context_bounded(
+            program, policy_factory, bound, config, limits, coverage=coverage,
+        )
+        results.append(result)
+        if stop_on_violation and result.found_violation:
+            break
+    return results

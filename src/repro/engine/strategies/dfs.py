@@ -1,0 +1,81 @@
+"""Systematic depth-first exploration (the paper's ``dfs`` strategy).
+
+Stateless DFS over the choice tree: each execution is replayed from the
+initial state along a guide (a prefix of decision indices), extended with
+first alternatives, and the recorded decision string is backtracked to
+produce the next guide.  Completeness: with the nonfair policy and no
+bounds this enumerates every execution of a finite acyclic choice tree;
+with the fair policy it enumerates every execution Algorithm 1 can
+generate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.core.model import Program
+from repro.core.policies import PolicyFactory
+from repro.engine.coverage import CoverageTracker
+from repro.engine.executor import (
+    ExecutorConfig,
+    GuidedChooser,
+    Pruner,
+    run_execution,
+)
+from repro.engine.results import ExecutionResult, ExplorationResult
+from repro.engine.strategies.base import (
+    Aggregator,
+    ExplorationLimits,
+    next_dfs_guide,
+)
+
+
+def explore_dfs(
+    program: Program,
+    policy_factory: PolicyFactory,
+    config: Optional[ExecutorConfig] = None,
+    limits: Optional[ExplorationLimits] = None,
+    *,
+    coverage: Optional[CoverageTracker] = None,
+    pruner: Optional[Pruner] = None,
+    listener: Optional[Callable[[ExecutionResult], None]] = None,
+    strategy_name: str = "dfs",
+) -> ExplorationResult:
+    """Exhaustively search the program's (bounded) execution tree."""
+    config = config or ExecutorConfig()
+    limits = limits or ExplorationLimits()
+    completion_rng = random.Random(config.seed)
+    policy_probe = policy_factory()
+    aggregator = Aggregator(
+        program_name=program.name,
+        policy_name=policy_probe.name,
+        strategy_name=strategy_name,
+        limits=limits,
+        coverage=coverage,
+        listener=listener,
+    )
+
+    guide: Optional[list] = []
+    stop_reason: Optional[str] = None
+    while guide is not None:
+        record = run_execution(
+            program,
+            policy_factory(),
+            GuidedChooser(guide),
+            config,
+            coverage=coverage,
+            pruner=pruner,
+            completion_rng=completion_rng,
+        )
+        stop_reason = aggregator.add(record)
+        if stop_reason is not None:
+            break
+        guide = next_dfs_guide(record.decisions)
+
+    complete = guide is None and stop_reason is None
+    # A violation/divergence stop still means the search answered the
+    # question it was asked; completeness refers to tree exhaustion only.
+    if stop_reason is None and guide is not None:  # pragma: no cover
+        complete = False
+    return aggregator.finish(complete=complete, stop_reason=stop_reason)

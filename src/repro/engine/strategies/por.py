@@ -1,0 +1,185 @@
+"""Sleep-set partial-order reduction (the paper's Section 5 outlook).
+
+The paper notes that partial-order reduction "can be used to significantly
+reduce the set of all fair schedules of fair-terminating programs, an
+interesting avenue of future research".  This module implements the
+classic sleep-set algorithm (Godefroid) on top of the stateless engine:
+
+* when a state is expanded, each explored thread is added to the *sleep
+  set* seen by its later siblings;
+* a child inherits the sleep set filtered by **independence** with the
+  executed transition — two transitions of different threads are
+  independent iff both declare resource sets
+  (:meth:`repro.runtime.ops.Operation.resources`) and those sets are
+  disjoint;
+* sleeping threads are not scheduled, pruning executions that only
+  permute independent transitions.
+
+Sleep sets preserve deadlocks and safety violations.  Soundness relies on
+the runtime contract that all shared effects go through operations (plain
+Python code between scheduling points is thread-local) — the same
+contract the precise-signature machinery uses.
+
+Because the search is stateless, the sleep sets along a replayed prefix
+are recomputed deterministically from the guide: at a decision with
+chosen index ``k``, the already-explored siblings are exactly
+``available[:k]``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Set
+
+from repro.core.model import Program, RunStatus
+from repro.core.policies import PolicyFactory
+from repro.engine.coverage import CoverageTracker
+from repro.engine.results import Decision, ExecutionResult, ExplorationResult, Outcome, TraceStep
+from repro.engine.strategies.base import (
+    Aggregator,
+    ExplorationLimits,
+    next_dfs_guide,
+)
+from repro.runtime.errors import PropertyViolation
+
+
+def _independent(op_a, op_b) -> bool:
+    """Independence of two pending operations of *different* threads."""
+    resources_a = op_a.resources() if op_a is not None else None
+    if resources_a is None:
+        return False
+    resources_b = op_b.resources() if op_b is not None else None
+    if resources_b is None:
+        return False
+    return not (set(resources_a) & set(resources_b))
+
+
+def _pending_op(instance, tid):
+    getter = getattr(instance, "task", None)
+    if getter is None:
+        return None  # explicit systems: no op objects — no reduction
+    return getter(tid).pending
+
+
+def _sorted(values) -> list:
+    try:
+        return sorted(values)
+    except TypeError:
+        return sorted(values, key=repr)
+
+
+def _run_once_with_sleep(
+    program: Program,
+    policy,
+    guide: List[int],
+    *,
+    depth_bound: Optional[int],
+    coverage: Optional[CoverageTracker],
+) -> ExecutionResult:
+    """One execution with sleep sets carried along the path."""
+    instance = program.instantiate()
+    for tid in _sorted(instance.thread_ids()):
+        policy.register_thread(tid)
+
+    decisions: List[Decision] = []
+    trace: List[TraceStep] = []
+    sleep: Set = set()
+    cursor = 0
+    steps = 0
+    violation = None
+    outcome = Outcome.TERMINATED
+
+    while True:
+        if coverage is not None:
+            coverage.record(instance.state_signature())
+        enabled = instance.enabled_threads()
+        if not enabled:
+            outcome = (Outcome.TERMINATED
+                       if instance.status() is RunStatus.TERMINATED
+                       else Outcome.DEADLOCK)
+            break
+        if depth_bound is not None and steps >= depth_bound:
+            outcome = Outcome.DEPTH_PRUNED
+            break
+        schedulable = policy.schedulable(enabled)
+        available = [t for t in _sorted(schedulable) if t not in sleep]
+        if not available:
+            # Everything schedulable is asleep: this execution is a
+            # redundant permutation of one already explored.
+            outcome = Outcome.VISITED_PRUNED
+            break
+        if cursor < len(guide):
+            index = guide[cursor]
+            if not 0 <= index < len(available):
+                raise ValueError("sleep-set replay diverged from guide")
+        else:
+            index = 0
+        cursor += 1
+        tid = available[index]
+        decisions.append(Decision("thread", index, len(available), tid))
+
+        executed_op = _pending_op(instance, tid)
+        # Sleep set of the child: previously sleeping threads plus the
+        # already-explored siblings, kept only while independent of the
+        # executed transition.
+        inherited = sleep | set(available[:index])
+        try:
+            info = instance.step(tid)
+        except PropertyViolation as exc:
+            violation = exc
+            outcome = Outcome.VIOLATION
+            steps += 1
+            break
+        policy.observe_step(info)
+        trace.append(TraceStep(tid, str(tid), info.operation, info.yielded,
+                               enabled))
+        steps += 1
+        sleep = {
+            u for u in inherited
+            if u != tid and _independent(_pending_op(instance, u),
+                                         executed_op)
+        }
+
+    return ExecutionResult(
+        outcome=outcome,
+        decisions=decisions,
+        steps=steps,
+        violation=violation,
+        trace=tuple(trace[-256:]),
+    )
+
+
+def explore_dfs_sleepsets(
+    program: Program,
+    policy_factory: PolicyFactory,
+    *,
+    depth_bound: Optional[int] = None,
+    limits: Optional[ExplorationLimits] = None,
+    coverage: Optional[CoverageTracker] = None,
+    listener: Optional[Callable[[ExecutionResult], None]] = None,
+) -> ExplorationResult:
+    """Depth-first search with sleep-set partial-order reduction."""
+    limits = limits or ExplorationLimits()
+    aggregator = Aggregator(
+        program_name=program.name,
+        policy_name=policy_factory().name,
+        strategy_name="dfs+sleepsets",
+        limits=limits,
+        coverage=coverage,
+        listener=listener,
+    )
+
+    guide: Optional[List[int]] = []
+    stop_reason: Optional[str] = None
+    while guide is not None:
+        record = _run_once_with_sleep(
+            program, policy_factory(), guide,
+            depth_bound=depth_bound, coverage=coverage,
+        )
+        stop_reason = aggregator.add(record)
+        if stop_reason is not None:
+            break
+        guide = next_dfs_guide(record.decisions)
+
+    complete = guide is None and stop_reason is None
+    return aggregator.finish(complete=complete, stop_reason=stop_reason)

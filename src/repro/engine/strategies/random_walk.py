@@ -1,0 +1,62 @@
+"""Pure random search (reference [17] of the paper).
+
+Each execution makes uniform random choices.  The paper uses random search
+in two places: as the completion mode past the depth bound for the unfair
+baseline of Table 2 (that part lives inside the executor), and as a
+standalone baseline.  Random scheduling is fair with probability one, so a
+fair-terminating program terminates almost surely under it — but it gives
+no systematic coverage guarantee, which is the point of comparison.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.core.model import Program
+from repro.core.policies import PolicyFactory
+from repro.engine.coverage import CoverageTracker
+from repro.engine.executor import ExecutorConfig, RandomChooser, run_execution
+from repro.engine.results import ExecutionResult, ExplorationResult
+from repro.engine.strategies.base import Aggregator, ExplorationLimits
+
+
+def explore_random(
+    program: Program,
+    policy_factory: PolicyFactory,
+    config: Optional[ExecutorConfig] = None,
+    limits: Optional[ExplorationLimits] = None,
+    *,
+    executions: int = 100,
+    seed: int = 0,
+    coverage: Optional[CoverageTracker] = None,
+    listener: Optional[Callable[[ExecutionResult], None]] = None,
+) -> ExplorationResult:
+    """Run ``executions`` independent random executions."""
+    config = config or ExecutorConfig()
+    limits = limits or ExplorationLimits()
+    rng = random.Random(seed)
+    policy_probe = policy_factory()
+    aggregator = Aggregator(
+        program_name=program.name,
+        policy_name=policy_probe.name,
+        strategy_name=f"random(n={executions})",
+        limits=limits,
+        coverage=coverage,
+        listener=listener,
+    )
+
+    stop_reason: Optional[str] = None
+    for _ in range(executions):
+        record = run_execution(
+            program,
+            policy_factory(),
+            RandomChooser(rng),
+            config,
+            coverage=coverage,
+            completion_rng=rng,
+        )
+        stop_reason = aggregator.add(record)
+        if stop_reason is not None:
+            break
+    return aggregator.finish(complete=False, stop_reason=stop_reason)

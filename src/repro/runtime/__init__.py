@@ -1,0 +1,46 @@
+"""Deterministic cooperative runtime: the CHESS-style execution substrate.
+
+Programs under test are built from generator-function thread bodies that
+yield :class:`~repro.runtime.ops.Operation` descriptors; a
+:class:`~repro.runtime.vm.VirtualMachine` executes them one transition at a
+time under full control of the exploration engine.
+"""
+
+from repro.runtime.api import check, choose, join, pause, sleep, spawn, yield_now
+from repro.runtime.errors import (
+    AssertionViolation,
+    DeadlockViolation,
+    PropertyViolation,
+    ReproError,
+    ScheduleError,
+    SyncUsageError,
+    TaskCrash,
+)
+from repro.runtime.ops import Operation
+from repro.runtime.program import ProgramEnv, VMProgram, program
+from repro.runtime.task import Task, TaskState
+from repro.runtime.vm import VirtualMachine
+
+__all__ = [
+    "AssertionViolation",
+    "DeadlockViolation",
+    "Operation",
+    "ProgramEnv",
+    "PropertyViolation",
+    "ReproError",
+    "ScheduleError",
+    "SyncUsageError",
+    "Task",
+    "TaskCrash",
+    "TaskState",
+    "VMProgram",
+    "VirtualMachine",
+    "check",
+    "choose",
+    "join",
+    "pause",
+    "program",
+    "sleep",
+    "spawn",
+    "yield_now",
+]

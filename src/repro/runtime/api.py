@@ -1,0 +1,81 @@
+"""Coroutine helpers used inside thread bodies.
+
+Thread bodies are generator functions; these helpers are the runtime-level
+verbs (sync-object verbs live on the objects themselves)::
+
+    def worker(queue, other):
+        yield from sleep()                 # yielding transition
+        child = yield from spawn(helper, queue, name="helper")
+        lane = yield from choose(3)        # data nondeterminism
+        yield from join(child)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.runtime.errors import AssertionViolation
+from repro.runtime.ops import (
+    ChooseOp,
+    CreateThreadOp,
+    JoinOp,
+    Operation,
+    PauseOp,
+    YieldOp,
+)
+from repro.runtime.task import Task
+
+
+def yield_now() -> Generator[Operation, Any, None]:
+    """Explicitly yield the processor (a yielding transition).
+
+    The good-samaritan discipline: place this on the back edge of every
+    spin loop.  Algorithm 1 keys its priority updates on these points.
+    """
+    yield YieldOp("yield")
+
+
+def sleep(duration: float = 1.0) -> Generator[Operation, Any, None]:
+    """Sleep — semantically identical to :func:`yield_now` for the checker
+    (CHESS treats ``Sleep`` as a processor yield), with a nicer trace label."""
+    yield YieldOp(f"sleep({duration:g})")
+
+
+def pause(label: str = "pause") -> Generator[Operation, Any, None]:
+    """A pure scheduling point: lets the scheduler preempt here without
+    marking the transition as yielding."""
+    yield PauseOp(label)
+
+
+def spawn(fn: Callable[..., Any], *args: Any, name: Optional[str] = None,
+          **kwargs: Any) -> Generator[Operation, Any, Task]:
+    """Create a new thread; evaluates to its :class:`Task` handle."""
+    task = yield CreateThreadOp(fn, args, kwargs, name)
+    return task
+
+
+def join(task: Task, timeout: Optional[float] = None) -> Generator[Operation, Any, bool]:
+    """Wait for ``task``; returns ``True`` on join, ``False`` on timeout.
+
+    A finite ``timeout`` makes this a *yielding* operation whenever the
+    target has not finished (the paper's yield-inference rule).
+    """
+    joined = yield JoinOp(task, timeout)
+    return joined
+
+
+def choose(n: int) -> Generator[Operation, Any, int]:
+    """Nondeterministically pick a value in ``range(n)`` (explored
+    exhaustively by the engine, like a scheduling choice)."""
+    value = yield ChooseOp(n)
+    return value
+
+
+def check(condition: bool, message: str = "assertion failed") -> None:
+    """Assert a safety property from inside a thread body.
+
+    Unlike a bare ``assert`` this survives ``python -O`` and produces an
+    :class:`AssertionViolation` with a clean message.
+    """
+    if not condition:
+        raise AssertionViolation(message)

@@ -1,0 +1,204 @@
+"""Operation descriptors: the scheduling points of the runtime.
+
+A task (one thread of the program under test) is a Python generator that
+*yields* :class:`Operation` objects.  The virtual machine holds the pending
+operation of every task, which gives the engine exactly the paper's state
+predicates without executing anything:
+
+* ``enabled(t)``  — ``task.pending.enabled(vm, task)``;
+* ``yield(t)``    — ``task.pending.is_yielding(vm, task)`` (true for explicit
+  processor yields / sleeps, and for waits with a finite timeout *that would
+  time out now*, matching CHESS's yield inference in Section 4).
+
+Executing a transition of ``t`` means: run ``pending.execute(vm, task)``,
+then resume the generator with the produced value up to its next yield.
+Synchronization-specific operations live next to their primitives in
+:mod:`repro.sync`; this module defines the base class and the runtime-level
+operations (spawn, join, explicit yields, data nondeterminism).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.task import Task
+    from repro.runtime.vm import VirtualMachine
+
+
+class Operation:
+    """Base class of everything a task may yield to the scheduler."""
+
+    __slots__ = ()
+
+    #: Static hint: does executing this operation constitute a yield?
+    yields_processor = False
+
+    #: Name of the attribute holding the shared object this operation
+    #: touches (e.g. ``"mutex"``), or the sentinel values ``None``
+    #: (unknown effects — dependent with everything) and ``"local"``
+    #: (touches nothing shared — independent of everything).  Consumed by
+    #: the partial-order-reduction extension.
+    resource_attr: "str | None" = None
+
+    def resources(self) -> "Tuple[Any, ...] | None":
+        """Identities of shared objects this operation may touch.
+
+        ``None`` means unknown (conservatively dependent); an empty tuple
+        means purely thread-local.  Two transitions of *different*
+        threads are independent iff both resource sets are known and
+        disjoint.
+        """
+        if self.resource_attr is None:
+            return None
+        if self.resource_attr == "local":
+            return ()
+        return (id(getattr(self, self.resource_attr)),)
+
+    def enabled(self, vm: "VirtualMachine", task: "Task") -> bool:
+        """May this operation execute in the current state?"""
+        return True
+
+    def is_yielding(self, vm: "VirtualMachine", task: "Task") -> bool:
+        """The paper's ``yield(t)`` predicate for the current state.
+
+        Only meaningful when :meth:`enabled` holds.  The default is the
+        static :attr:`yields_processor` flag; timeout-waits override this to
+        yield exactly when the wait would time out.
+        """
+        return self.yields_processor
+
+    def execute(self, vm: "VirtualMachine", task: "Task") -> Any:
+        """Perform the operation; the return value is sent into the task."""
+        return None
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"<op {self.describe()}>"
+
+
+class StartOp(Operation):
+    """Implicit first operation of every task.
+
+    Tasks are created lazily: their generator is not primed at creation, so
+    spawning has no side effects.  The code before the task's first real
+    yield runs as part of its first transition, when the scheduler first
+    picks it.
+    """
+
+    __slots__ = ()
+
+    def describe(self) -> str:
+        return "start"
+
+
+class YieldOp(Operation):
+    """An explicit processor yield — ``yield_now()`` or ``sleep()``.
+
+    These are the operations Algorithm 1 keys on: a yielding transition
+    closes the thread's window and may deprioritize it.
+    """
+
+    __slots__ = ("label",)
+    yields_processor = True
+    resource_attr = "local"
+
+    def __init__(self, label: str = "yield") -> None:
+        self.label = label
+
+    def describe(self) -> str:
+        return self.label
+
+
+class PauseOp(Operation):
+    """A pure scheduling point with no effect and no yield semantics.
+
+    Used to model an interleaving point at a local action (e.g. between two
+    instructions the checker should be able to preempt).
+    """
+
+    __slots__ = ("label",)
+    resource_attr = "local"
+
+    def __init__(self, label: str = "pause") -> None:
+        self.label = label
+
+    def describe(self) -> str:
+        return self.label
+
+
+class ChooseOp(Operation):
+    """Data nondeterminism: ask the engine to pick a value in ``range(n)``.
+
+    Verisoft-style input nondeterminism; the engine records this as a choice
+    point exactly like a scheduling choice, so replay covers it.
+    """
+
+    __slots__ = ("n",)
+    resource_attr = "local"
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("choose() needs at least one alternative")
+        self.n = n
+
+    def execute(self, vm: "VirtualMachine", task: "Task") -> int:
+        return vm.request_data_choice(self.n)
+
+    def describe(self) -> str:
+        return f"choose({self.n})"
+
+
+class CreateThreadOp(Operation):
+    """Spawn a new task; evaluates to its :class:`~repro.runtime.task.Task`."""
+
+    __slots__ = ("fn", "args", "kwargs", "name")
+
+    def __init__(self, fn: Callable[..., Any], args: Tuple[Any, ...],
+                 kwargs: Optional[dict] = None, name: Optional[str] = None) -> None:
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs or {}
+        self.name = name
+
+    def execute(self, vm: "VirtualMachine", task: "Task") -> "Task":
+        return vm.spawn_task(self.fn, self.args, self.kwargs, self.name)
+
+    def describe(self) -> str:
+        target = self.name or getattr(self.fn, "__name__", "task")
+        return f"spawn({target})"
+
+
+class JoinOp(Operation):
+    """Wait for another task to finish.
+
+    Without a timeout the join blocks (disabled until the target finishes).
+    With a finite timeout it is always enabled and *yields* whenever it
+    would time out, per the paper's yield-inference rule.  Evaluates to
+    ``True`` on successful join, ``False`` on timeout.
+    """
+
+    __slots__ = ("target", "timeout")
+    # Joins are enabled by the target's *finishing transition*, whatever
+    # operation that happens to be — not capturable as a resource, so
+    # joins stay conservatively dependent with everything.
+    resource_attr = None
+
+    def __init__(self, target: "Task", timeout: Optional[float] = None) -> None:
+        self.target = target
+        self.timeout = timeout
+
+    def enabled(self, vm: "VirtualMachine", task: "Task") -> bool:
+        return self.target.done or self.timeout is not None
+
+    def is_yielding(self, vm: "VirtualMachine", task: "Task") -> bool:
+        return self.timeout is not None and not self.target.done
+
+    def execute(self, vm: "VirtualMachine", task: "Task") -> bool:
+        return self.target.done
+
+    def describe(self) -> str:
+        suffix = "" if self.timeout is None else f", timeout={self.timeout}"
+        return f"join({self.target.name}{suffix})"

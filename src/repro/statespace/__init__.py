@@ -1,0 +1,69 @@
+"""Explicit-state layer: transition systems, ground-truth search, cycles.
+
+The checker proper is stateless; this subpackage exists for the parts of
+the paper that reason *about* state spaces — the "Total States" columns of
+Table 2 (a stateful search storing signatures in a hash table), the
+fair/unfair cycle definitions behind Theorems 4–6, heap canonicalization,
+and the random finite-state programs used by the property-based tests.
+"""
+
+from repro.statespace.adapter import (
+    TransitionSystemInstance,
+    TransitionSystemProgram,
+)
+from repro.statespace.canonical import canonicalize, signature_hash
+from repro.statespace.cycles import (
+    StateGraph,
+    build_state_graph,
+    cycle_yield_count,
+    enumerate_cycles,
+    find_fair_cycles,
+    has_fair_cycle,
+    is_fair_cycle,
+)
+from repro.statespace.random_programs import (
+    random_good_samaritan_system,
+    random_system,
+)
+from repro.statespace.signature_graph import (
+    SignatureGraph,
+    build_signature_graph,
+    find_livelock_candidates,
+)
+from repro.statespace.stateful import (
+    StatefulSearchResult,
+    reachable_states,
+    stateful_state_count,
+)
+from repro.statespace.transition_system import (
+    ThreadSpec,
+    TransitionSystem,
+    figure3_system,
+    pc_program,
+)
+
+__all__ = [
+    "SignatureGraph",
+    "StateGraph",
+    "StatefulSearchResult",
+    "build_signature_graph",
+    "find_livelock_candidates",
+    "ThreadSpec",
+    "TransitionSystem",
+    "TransitionSystemInstance",
+    "TransitionSystemProgram",
+    "build_state_graph",
+    "canonicalize",
+    "cycle_yield_count",
+    "enumerate_cycles",
+    "figure3_system",
+    "find_fair_cycles",
+    "has_fair_cycle",
+    "is_fair_cycle",
+    "pc_program",
+    "random_good_samaritan_system",
+    "random_system",
+    "reachable_states",
+    "signature_hash",
+    "stateful_state_count",
+]

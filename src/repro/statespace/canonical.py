@@ -1,0 +1,78 @@
+"""Heap canonicalization (Iosif 2001, reference [14] of the paper).
+
+To avoid counting behaviorally equivalent heaps as distinct states, the
+paper canonicalizes heaps before hashing.  We implement the standard
+technique: traverse the object graph in a deterministic order and replace
+object identities with first-visit indices, producing a hashable tree.
+
+``canonicalize`` understands the built-in containers, dataclass-like
+objects exposing ``state_signature()`` or ``__dict__``, and arbitrary
+acyclic/cyclic object graphs (cycles become back-references).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Tuple
+
+_ATOMIC_TYPES = (type(None), bool, int, float, complex, str, bytes, frozenset)
+
+
+def canonicalize(value: Any) -> Hashable:
+    """Return a hashable canonical form of ``value``.
+
+    Two values that are structurally equal (same shape, same atoms, same
+    sharing pattern) canonicalize to equal results regardless of object
+    identities or dict insertion order.
+    """
+    return _canon(value, {}, [0])
+
+
+def _canon(value: Any, seen: Dict[int, int], counter: list) -> Hashable:
+    if isinstance(value, _ATOMIC_TYPES):
+        return value
+    oid = id(value)
+    if oid in seen:
+        return ("@ref", seen[oid])
+    seen[oid] = counter[0]
+    counter[0] += 1
+    if isinstance(value, tuple):
+        return ("tuple",) + tuple(_canon(v, seen, counter) for v in value)
+    if isinstance(value, list):
+        return ("list",) + tuple(_canon(v, seen, counter) for v in value)
+    if isinstance(value, set):
+        items = tuple(sorted((_canon(v, seen, counter) for v in value), key=repr))
+        return ("set",) + items
+    if isinstance(value, dict):
+        items = []
+        for key in sorted(value, key=repr):
+            items.append((_canon(key, seen, counter),
+                          _canon(value[key], seen, counter)))
+        return ("dict",) + tuple(items)
+    sig = getattr(value, "state_signature", None)
+    if callable(sig):
+        return (type(value).__name__, _canon(sig(), seen, counter))
+    attrs = getattr(value, "__dict__", None)
+    if attrs is not None:
+        body = tuple(
+            (name, _canon(attrs[name], seen, counter))
+            for name in sorted(attrs)
+            if not name.startswith("_")
+        )
+        return (type(value).__name__,) + body
+    slots = getattr(type(value), "__slots__", None)
+    if slots:
+        body = tuple(
+            (name, _canon(getattr(value, name), seen, counter))
+            for name in sorted(slots)
+            if not name.startswith("_") and hasattr(value, name)
+        )
+        return (type(value).__name__,) + body
+    # Last resort: a stable type marker with the visit index.  Distinct
+    # opaque objects in the same position canonicalize identically, which
+    # errs toward merging states — acceptable for coverage counting.
+    return (type(value).__name__, "@opaque")
+
+
+def signature_hash(value: Any) -> int:
+    """Hash of the canonical form (the paper's "state signature")."""
+    return hash(canonicalize(value))

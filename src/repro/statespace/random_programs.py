@@ -1,0 +1,112 @@
+"""Random finite-state programs for property-based testing.
+
+Generates small :func:`~repro.statespace.transition_system.pc_program`
+systems from a seed: per-thread instruction tables over a bounded shared
+variable, with random guards, effects, branches and yield placement.
+Property tests draw seeds with hypothesis and validate the paper's
+theorems against the generated systems.
+
+Two generators:
+
+* :func:`random_system` — arbitrary programs (may deadlock, livelock,
+  starve; good for testing the *mechanism*).
+* :func:`random_good_samaritan_system` — programs that structurally
+  satisfy the good-samaritan property: every loop of every thread
+  contains a yield.  Built by making every *backward* pc jump a yielding
+  instruction, so any infinite thread-local path yields infinitely often.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.statespace.transition_system import TransitionSystem, pc_program
+
+
+def _random_effect(rng: random.Random, domain: int):
+    table = tuple(rng.randrange(domain) for _ in range(domain))
+    return lambda shared: table[shared]
+
+
+def _random_guard(rng: random.Random, domain: int, always_prob: float):
+    if rng.random() < always_prob:
+        return lambda shared: True
+    allowed = frozenset(
+        value for value in range(domain) if rng.random() < 0.6
+    )
+    if not allowed:
+        allowed = frozenset({rng.randrange(domain)})
+    return lambda shared: shared in allowed
+
+
+def _random_next_pc(rng: random.Random, domain: int, n_pcs: int, pc: int,
+                    allow_backward: bool) -> object:
+    def pick() -> int:
+        if allow_backward:
+            return rng.randrange(n_pcs + 1)  # n_pcs = terminated
+        return rng.randrange(pc + 1, n_pcs + 1)
+
+    if rng.random() < 0.3:  # branch on the shared value
+        table = tuple(pick() for _ in range(domain))
+        return lambda shared: table[shared]
+    return pick()
+
+
+def random_system(
+    seed: int,
+    *,
+    n_threads: int = 2,
+    n_pcs: int = 3,
+    domain: int = 3,
+    yield_prob: float = 0.3,
+    name: str = "random",
+) -> TransitionSystem:
+    """An arbitrary small multithreaded program derived from ``seed``."""
+    rng = random.Random(seed)
+    tables: Dict[str, Tuple] = {}
+    for index in range(n_threads):
+        rows: List[Tuple] = []
+        for pc in range(n_pcs):
+            rows.append((
+                _random_guard(rng, domain, always_prob=0.5),
+                _random_effect(rng, domain),
+                _random_next_pc(rng, domain, n_pcs, pc, allow_backward=True),
+                rng.random() < yield_prob,
+            ))
+        tables[f"T{index}"] = tuple(rows)
+    return pc_program(f"{name}({seed})", 0, tables)
+
+
+def random_good_samaritan_system(
+    seed: int,
+    *,
+    n_threads: int = 2,
+    n_pcs: int = 3,
+    domain: int = 3,
+    name: str = "random-gs",
+) -> TransitionSystem:
+    """A random program satisfying GS by construction.
+
+    Instructions either move strictly forward (eventually terminating the
+    thread) or are yielding instructions (which may jump anywhere).  Every
+    cycle in a thread's control flow therefore contains a yield, so any
+    thread scheduled infinitely often yields infinitely often.  Guards are
+    always-true: threads never block, so the GS premise "scheduled
+    infinitely often" is within the scheduler's control alone.
+    """
+    rng = random.Random(seed)
+    tables: Dict[str, Tuple] = {}
+    for index in range(n_threads):
+        rows: List[Tuple] = []
+        for pc in range(n_pcs):
+            yielding = rng.random() < 0.5
+            rows.append((
+                lambda shared: True,
+                _random_effect(rng, domain),
+                _random_next_pc(rng, domain, n_pcs, pc,
+                                allow_backward=yielding),
+                yielding,
+            ))
+        tables[f"T{index}"] = tuple(rows)
+    return pc_program(f"{name}({seed})", 0, tables)

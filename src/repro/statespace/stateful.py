@@ -1,0 +1,141 @@
+"""Stateful searches: ground truth for the coverage experiments.
+
+Table 2's "Total States" column comes from "a stateful search of the state
+space [storing] the state signatures in a hash table".  Two flavors here:
+
+* :func:`reachable_states` — plain graph search over an explicit
+  :class:`~repro.statespace.transition_system.TransitionSystem`.
+* :func:`stateful_state_count` — replay-based DFS with visited-state
+  pruning over *any* :class:`~repro.core.model.Program` (including VM
+  programs), optionally under a context bound.  Pruning only fires past
+  the guided prefix of each replay, which keeps the enumeration sound;
+  with a preemption bound the visited key includes the scheduling context
+  (last thread, yield flag, remaining budget) because reachability under
+  a context bound is path-dependent.
+
+Stateful pruning requires a *memoryless* policy (the nonfair scheduler):
+with the fair policy the future depends on Algorithm 1's auxiliary state,
+so pruning on the program state alone would be unsound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Optional, Set
+
+from repro.core.model import Program
+from repro.core.policies import NonfairPolicy, nonfair_policy
+from repro.engine.executor import ExecutorConfig, GuidedChooser, run_execution
+from repro.engine.strategies.base import next_dfs_guide
+from repro.statespace.transition_system import TransitionSystem
+
+
+@dataclass
+class StatefulSearchResult:
+    states: FrozenSet[Hashable]
+    executions: int
+    transitions: int
+    complete: bool
+
+    @property
+    def count(self) -> int:
+        return len(self.states)
+
+
+def reachable_states(
+    system: TransitionSystem,
+    *,
+    max_states: int = 1_000_000,
+) -> FrozenSet[Hashable]:
+    """All reachable states of an explicit system (BFS on the graph)."""
+    seen: Set[Hashable] = {system.initial}
+    frontier = deque([system.initial])
+    while frontier:
+        state = frontier.popleft()
+        for tid in system.enabled_threads(state):
+            successor = system.next_state(state, tid)
+            if successor not in seen:
+                if len(seen) >= max_states:
+                    raise RuntimeError(
+                        f"state space exceeds max_states={max_states}"
+                    )
+                seen.add(successor)
+                frontier.append(successor)
+    return frozenset(seen)
+
+
+def stateful_state_count(
+    program: Program,
+    *,
+    preemption_bound: Optional[int] = None,
+    depth_bound: Optional[int] = None,
+    max_executions: Optional[int] = None,
+) -> StatefulSearchResult:
+    """Enumerate reachable state signatures of a replayable program.
+
+    The program must expose a *precise* ``state_signature`` (two states
+    with equal signatures must have identical future behavior), as the
+    paper's manually instrumented examples do.
+    """
+    states: Set[Hashable] = set()
+    visited_keys: Set[Hashable] = set()
+    executions = 0
+    transitions = 0
+    config = ExecutorConfig(
+        depth_bound=depth_bound,
+        on_depth_exceeded="prune",
+        preemption_bound=preemption_bound,
+    )
+
+    guide: Optional[list] = []
+    complete = True
+    while guide is not None:
+        guide_len = len(guide)
+
+        def pruner(instance, point) -> bool:
+            states.add(instance.state_signature())
+            # Prune on the *precise* signature: the user abstraction may
+            # identify states that differ in pending operations (e.g. a
+            # task's implicit start transition), and pruning on it would
+            # cut live branches.
+            precise = getattr(instance, "precise_signature", None)
+            signature = precise() if precise is not None else instance.state_signature()
+            if preemption_bound is not None:
+                budget = preemption_bound - point.preemptions
+                key = (signature, point.last_tid, point.last_was_yield, budget)
+            else:
+                key = signature
+            if point.decisions < guide_len:
+                # Strictly inside the guided prefix: record, never prune
+                # (the replay must reach its frontier).  The state *after*
+                # the final guided decision is new territory — that final
+                # decision is the freshly bumped branch — so pruning is
+                # allowed from there on.
+                visited_keys.add(key)
+                return False
+            if key in visited_keys:
+                return True
+            visited_keys.add(key)
+            return False
+
+        record = run_execution(
+            program,
+            NonfairPolicy(),
+            GuidedChooser(guide),
+            config,
+            pruner=pruner,
+        )
+        executions += 1
+        transitions += record.steps
+        if max_executions is not None and executions >= max_executions:
+            complete = False
+            break
+        guide = next_dfs_guide(record.decisions)
+
+    return StatefulSearchResult(
+        states=frozenset(states),
+        executions=executions,
+        transitions=transitions,
+        complete=complete,
+    )

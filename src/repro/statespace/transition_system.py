@@ -1,0 +1,147 @@
+"""Explicit finite-state multithreaded transition systems.
+
+This is the paper's Section 3 formalism made concrete: a program is a set
+of threads, each with a deterministic transition function over a shared
+state value, plus the two predicates ``enabled(t)`` and ``yield(t)``.
+Used for theory validation (Theorems 1–6), for the Figure 3 state-space
+diagram, and as the substrate of the hypothesis-generated random programs.
+
+States must be hashable values; transition functions must be pure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Hashable, Tuple
+
+State = Hashable
+Tid = Hashable
+
+
+@dataclass(frozen=True)
+class ThreadSpec:
+    """One thread: guard, transition and yield predicate over states."""
+
+    enabled: Callable[[State], bool]
+    step: Callable[[State], State]
+    #: The paper's ``yield(t)``: executing the thread from this state is a
+    #: yielding transition.  Only consulted when ``enabled`` holds.
+    is_yield: Callable[[State], bool] = staticmethod(lambda state: False)
+
+
+class TransitionSystem:
+    """A finite-state multithreaded program with explicit transitions."""
+
+    def __init__(self, name: str, initial: State,
+                 threads: Dict[Tid, ThreadSpec]) -> None:
+        if not threads:
+            raise ValueError("a transition system needs at least one thread")
+        self.name = name
+        self.initial = initial
+        self.threads = dict(threads)
+
+    # ------------------------------------------------------------------
+    def thread_ids(self) -> FrozenSet[Tid]:
+        return frozenset(self.threads)
+
+    def enabled_threads(self, state: State) -> FrozenSet[Tid]:
+        return frozenset(
+            tid for tid, spec in self.threads.items() if spec.enabled(state)
+        )
+
+    def is_yielding(self, state: State, tid: Tid) -> bool:
+        spec = self.threads[tid]
+        return spec.enabled(state) and spec.is_yield(state)
+
+    def next_state(self, state: State, tid: Tid) -> State:
+        spec = self.threads[tid]
+        if not spec.enabled(state):
+            raise ValueError(f"thread {tid!r} is not enabled in {state!r}")
+        return spec.step(state)
+
+    def __repr__(self) -> str:
+        return f"<TransitionSystem {self.name} threads={sorted(map(repr, self.threads))}>"
+
+
+def pc_program(
+    name: str,
+    shared_initial: Hashable,
+    thread_tables: Dict[Tid, Tuple],
+) -> TransitionSystem:
+    """Build a transition system from per-thread instruction tables.
+
+    The state is ``(shared, pcs)`` where ``pcs`` maps thread id to program
+    counter.  Each thread's table is a tuple of instructions, one per pc;
+    an instruction is ``(guard, effect, next_pc, is_yield)`` with
+
+    * ``guard(shared) -> bool`` — thread enabled at this pc iff true;
+    * ``effect(shared) -> shared`` — the state update;
+    * ``next_pc`` — either an int, or a callable ``(shared) -> int`` for
+      branches (evaluated on the *pre*-effect shared value);
+    * ``is_yield`` — whether executing this instruction yields.
+
+    A pc equal to ``len(table)`` means the thread has terminated (never
+    enabled).  This is the format the random-program generator emits.
+    """
+    tids = tuple(thread_tables)
+
+    def unpack(state):
+        shared, pcs = state
+        return shared, dict(zip(tids, pcs))
+
+    def make_spec(tid: Tid, table: Tuple) -> ThreadSpec:
+        def enabled(state) -> bool:
+            shared, pcs = unpack(state)
+            pc = pcs[tid]
+            if pc >= len(table):
+                return False
+            guard = table[pc][0]
+            return bool(guard(shared))
+
+        def is_yield(state) -> bool:
+            shared, pcs = unpack(state)
+            pc = pcs[tid]
+            if pc >= len(table):
+                return False
+            return bool(table[pc][3])
+
+        def step(state):
+            shared, pcs = unpack(state)
+            pc = pcs[tid]
+            _, effect, next_pc, _ = table[pc]
+            new_shared = effect(shared)
+            pcs[tid] = next_pc(shared) if callable(next_pc) else next_pc
+            return (new_shared, tuple(pcs[t] for t in tids))
+
+        return ThreadSpec(enabled=enabled, step=step, is_yield=is_yield)
+
+    threads = {tid: make_spec(tid, table) for tid, table in thread_tables.items()}
+    initial = (shared_initial, tuple(0 for _ in tids))
+    return TransitionSystem(name, initial, threads)
+
+
+def figure3_system() -> TransitionSystem:
+    """The Figure 3 program as an explicit transition system.
+
+    States are the pairs shown in the paper's diagram: ``(pc_t, pc_u)``
+    with the shared variable folded into the pcs (``x`` becomes 1 exactly
+    when ``t`` moves from ``a`` to ``b``).
+    """
+    # shared = x; thread t: a -> b;  thread u: c -> (c|d) -> c.
+    return pc_program(
+        "figure3",
+        0,
+        {
+            "t": (
+                # a: x := 1
+                (lambda x: True, lambda x: 1, 1, False),
+            ),
+            "u": (
+                # c: while (x != 1) — falls through to end when x == 1
+                (lambda x: True, lambda x: x, lambda x: 2 if x == 1 else 1,
+                 False),
+                # d: yield(); back to c
+                (lambda x: True, lambda x: x, 0, True),
+            ),
+        },
+    )

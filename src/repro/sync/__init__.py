@@ -1,0 +1,40 @@
+"""Instrumented synchronization primitives.
+
+Everything a workload thread does to shared state goes through these
+objects; each operation is one transition of the model, and the paper's
+yield-inference rule (finite-timeout waits and explicit yields are yielding
+transitions) is implemented directly on the operations.
+
+The runtime verbs (:func:`spawn`, :func:`join`, :func:`yield_now`,
+:func:`sleep`, :func:`choose`, :func:`check`, :func:`pause`) are re-exported
+here so workloads can import a single module.
+"""
+
+from repro.runtime.api import check, choose, join, pause, sleep, spawn, yield_now
+from repro.sync.atomics import AtomicCell, SharedVar
+from repro.sync.barrier import Barrier
+from repro.sync.channel import Channel
+from repro.sync.condvar import CondVar
+from repro.sync.event import Event
+from repro.sync.mutex import Mutex
+from repro.sync.rwlock import RWLock
+from repro.sync.semaphore import Semaphore
+
+__all__ = [
+    "AtomicCell",
+    "Barrier",
+    "Channel",
+    "CondVar",
+    "Event",
+    "Mutex",
+    "RWLock",
+    "Semaphore",
+    "SharedVar",
+    "check",
+    "choose",
+    "join",
+    "pause",
+    "sleep",
+    "spawn",
+    "yield_now",
+]

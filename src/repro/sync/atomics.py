@@ -1,0 +1,167 @@
+"""Atomic cells and shared variables.
+
+Every access is a separate transition (a scheduling point), so the checker
+sees all the interleavings a weak scheduler could produce on real hardware
+for *sequentially consistent* accesses.  ``AtomicCell`` provides the
+interlocked operations the work-stealing queue and the Promise library are
+built from (``load``/``store``/``compare_and_swap``/``fetch_add``/
+``exchange`` — the paper's ``InterlockedRead`` etc.).
+
+``SharedVar`` is the same machinery under a name that reads better for
+plain shared memory (Figure 3's ``x``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.runtime.ops import Operation
+
+
+class _LoadOp(Operation):
+    resource_attr = "cell"
+    __slots__ = ("cell",)
+
+    def __init__(self, cell: "AtomicCell") -> None:
+        self.cell = cell
+
+    def execute(self, vm, task) -> Any:
+        return self.cell._value
+
+    def describe(self) -> str:
+        return f"load({self.cell.name})"
+
+
+class _StoreOp(Operation):
+    resource_attr = "cell"
+    __slots__ = ("cell", "value")
+
+    def __init__(self, cell: "AtomicCell", value: Any) -> None:
+        self.cell = cell
+        self.value = value
+
+    def execute(self, vm, task) -> None:
+        self.cell._value = self.value
+
+    def describe(self) -> str:
+        return f"store({self.cell.name}, {self.value!r})"
+
+
+class _CasOp(Operation):
+    resource_attr = "cell"
+    __slots__ = ("cell", "expected", "new")
+
+    def __init__(self, cell: "AtomicCell", expected: Any, new: Any) -> None:
+        self.cell = cell
+        self.expected = expected
+        self.new = new
+
+    def execute(self, vm, task) -> bool:
+        if self.cell._value == self.expected:
+            self.cell._value = self.new
+            return True
+        return False
+
+    def describe(self) -> str:
+        return f"cas({self.cell.name}, {self.expected!r}->{self.new!r})"
+
+
+class _FetchAddOp(Operation):
+    resource_attr = "cell"
+    __slots__ = ("cell", "delta")
+
+    def __init__(self, cell: "AtomicCell", delta: Any) -> None:
+        self.cell = cell
+        self.delta = delta
+
+    def execute(self, vm, task) -> Any:
+        old = self.cell._value
+        self.cell._value = old + self.delta
+        return old
+
+    def describe(self) -> str:
+        return f"fetch_add({self.cell.name}, {self.delta!r})"
+
+
+class _ExchangeOp(Operation):
+    resource_attr = "cell"
+    __slots__ = ("cell", "value")
+
+    def __init__(self, cell: "AtomicCell", value: Any) -> None:
+        self.cell = cell
+        self.value = value
+
+    def execute(self, vm, task) -> Any:
+        old = self.cell._value
+        self.cell._value = self.value
+        return old
+
+    def describe(self) -> str:
+        return f"exchange({self.cell.name}, {self.value!r})"
+
+
+class AtomicCell:
+    """A word of shared memory with atomic (interlocked) operations."""
+
+    _counter = 0
+
+    def __init__(self, value: Any = None, name: Optional[str] = None) -> None:
+        if name is None:
+            AtomicCell._counter += 1
+            name = f"cell{AtomicCell._counter}"
+        self.name = name
+        self._value = value
+
+    def load(self) -> Generator[Operation, Any, Any]:
+        """Atomic read (``InterlockedRead``); one transition."""
+        value = yield _LoadOp(self)
+        return value
+
+    def store(self, value: Any) -> Generator[Operation, Any, None]:
+        """Atomic write; one transition."""
+        yield _StoreOp(self, value)
+
+    def compare_and_swap(self, expected: Any, new: Any) -> Generator[Operation, Any, bool]:
+        """CAS: install ``new`` iff the current value equals ``expected``;
+        returns whether the swap happened."""
+        ok = yield _CasOp(self, expected, new)
+        return ok
+
+    def fetch_add(self, delta: Any = 1) -> Generator[Operation, Any, Any]:
+        """Atomic add; returns the *previous* value."""
+        old = yield _FetchAddOp(self, delta)
+        return old
+
+    def exchange(self, value: Any) -> Generator[Operation, Any, Any]:
+        """Atomic swap; returns the previous value."""
+        old = yield _ExchangeOp(self, value)
+        return old
+
+    # ------------------------------------------------------------------
+    # Non-scheduling access for setup code, assertions, state extraction.
+    # ------------------------------------------------------------------
+    def peek(self) -> Any:
+        return self._value
+
+    def poke(self, value: Any) -> None:
+        self._value = value
+
+    def state_signature(self) -> Any:
+        return ("cell", self.name, self._value)
+
+    def __repr__(self) -> str:
+        return f"<AtomicCell {self.name}={self._value!r}>"
+
+
+class SharedVar(AtomicCell):
+    """A shared (``volatile``) variable; reads/writes are scheduling points.
+
+    ``get``/``set`` are aliases of :meth:`AtomicCell.load`/:meth:`store`.
+    """
+
+    def get(self) -> Generator[Operation, Any, Any]:
+        value = yield _LoadOp(self)
+        return value
+
+    def set(self, value: Any) -> Generator[Operation, Any, None]:
+        yield _StoreOp(self, value)

@@ -1,0 +1,92 @@
+"""Cyclic barriers."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.runtime.ops import Operation
+
+
+class _BarrierArriveOp(Operation):
+    resource_attr = "barrier"
+    __slots__ = ("barrier",)
+
+    def __init__(self, barrier: "Barrier") -> None:
+        self.barrier = barrier
+
+    def execute(self, vm, task) -> int:
+        b = self.barrier
+        my_generation = b._generation
+        b._arrived += 1
+        if b._arrived == b.parties:
+            b._arrived = 0
+            b._generation += 1
+        return my_generation
+
+    def describe(self) -> str:
+        return f"barrier_arrive({self.barrier.name})"
+
+
+class _BarrierBlockOp(Operation):
+    resource_attr = "barrier"
+    __slots__ = ("barrier", "generation", "timeout")
+
+    def __init__(self, barrier: "Barrier", generation: int,
+                 timeout: Optional[float]) -> None:
+        self.barrier = barrier
+        self.generation = generation
+        self.timeout = timeout
+
+    def _released(self) -> bool:
+        return self.barrier._generation != self.generation
+
+    def enabled(self, vm, task) -> bool:
+        return self._released() or self.timeout is not None
+
+    def is_yielding(self, vm, task) -> bool:
+        return self.timeout is not None and not self._released()
+
+    def execute(self, vm, task) -> bool:
+        return self._released()
+
+    def describe(self) -> str:
+        return f"barrier_block({self.barrier.name}, gen={self.generation})"
+
+
+class Barrier:
+    """A reusable barrier for a fixed number of parties."""
+
+    _counter = 0
+
+    def __init__(self, parties: int, name: Optional[str] = None) -> None:
+        if parties < 1:
+            raise ValueError("a barrier needs at least one party")
+        if name is None:
+            Barrier._counter += 1
+            name = f"barrier{Barrier._counter}"
+        self.name = name
+        self.parties = parties
+        self._arrived = 0
+        self._generation = 0
+
+    def arrive_and_wait(self, timeout: Optional[float] = None) -> Generator[Operation, Any, bool]:
+        """Arrive at the barrier, then block until all parties arrive.
+
+        Returns ``True`` when released normally, ``False`` if a finite
+        timeout fired first (the arrival still counts; a subsequent release
+        proceeds without the timed-out thread, as with Win32 barriers).
+        """
+        generation = yield _BarrierArriveOp(self)
+        released = yield _BarrierBlockOp(self, generation, timeout)
+        return released
+
+    # ------------------------------------------------------------------
+    def waiting(self) -> int:
+        return self._arrived
+
+    def state_signature(self) -> Any:
+        return ("barrier", self.name, self._arrived, self._generation)
+
+    def __repr__(self) -> str:
+        return (f"<Barrier {self.name} arrived={self._arrived}/"
+                f"{self.parties} gen={self._generation}>")

@@ -1,0 +1,159 @@
+"""Bounded and unbounded FIFO channels.
+
+These are the building blocks of the Dryad-channel substitute workload and
+the mini-OS IPC layer.  A channel can be closed; receiving from a closed,
+drained channel completes immediately with ``(False, None)`` so consumer
+loops terminate under fair schedules.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional, Tuple
+
+from repro.runtime.errors import SyncUsageError
+from repro.runtime.ops import Operation
+
+
+class _SendOp(Operation):
+    resource_attr = "channel"
+    __slots__ = ("channel", "item", "timeout")
+
+    def __init__(self, channel: "Channel", item: Any,
+                 timeout: Optional[float]) -> None:
+        self.channel = channel
+        self.item = item
+        self.timeout = timeout
+
+    def _has_space(self) -> bool:
+        ch = self.channel
+        return ch.capacity is None or len(ch._items) < ch.capacity
+
+    def enabled(self, vm, task) -> bool:
+        return self._has_space() or self.channel._closed or self.timeout is not None
+
+    def is_yielding(self, vm, task) -> bool:
+        return (self.timeout is not None and not self._has_space()
+                and not self.channel._closed)
+
+    def execute(self, vm, task) -> bool:
+        ch = self.channel
+        if ch._closed:
+            raise SyncUsageError(
+                f"{task.name} sent on closed channel {ch.name}"
+            )
+        if self._has_space():
+            ch._items.append(self.item)
+            ch._total_sent += 1
+            return True
+        return False  # timed out
+
+    def describe(self) -> str:
+        return f"send({self.channel.name})"
+
+
+class _RecvOp(Operation):
+    resource_attr = "channel"
+    __slots__ = ("channel", "timeout")
+
+    def __init__(self, channel: "Channel", timeout: Optional[float]) -> None:
+        self.channel = channel
+        self.timeout = timeout
+
+    def _ready(self) -> bool:
+        return bool(self.channel._items) or self.channel._closed
+
+    def enabled(self, vm, task) -> bool:
+        return self._ready() or self.timeout is not None
+
+    def is_yielding(self, vm, task) -> bool:
+        return self.timeout is not None and not self._ready()
+
+    def execute(self, vm, task) -> Tuple[bool, Any]:
+        ch = self.channel
+        if ch._items:
+            return (True, ch._items.popleft())
+        return (False, None)  # closed-and-drained, or timed out
+
+    def describe(self) -> str:
+        return f"recv({self.channel.name})"
+
+
+class _CloseOp(Operation):
+    resource_attr = "channel"
+    __slots__ = ("channel",)
+
+    def __init__(self, channel: "Channel") -> None:
+        self.channel = channel
+
+    def execute(self, vm, task) -> None:
+        self.channel._closed = True
+
+    def describe(self) -> str:
+        return f"close({self.channel.name})"
+
+
+class Channel:
+    """A FIFO channel with optional capacity.
+
+    * ``send`` blocks while the channel is full (or fails after a finite
+      timeout, a yielding transition); sending on a closed channel is a
+      safety violation.
+    * ``recv`` blocks while the channel is empty and open; it returns
+      ``(True, item)`` on success and ``(False, None)`` when the channel is
+      closed and drained (or the timeout fired).
+    """
+
+    _counter = 0
+
+    def __init__(self, capacity: Optional[int] = None,
+                 name: Optional[str] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive (or None for unbounded)")
+        if name is None:
+            Channel._counter += 1
+            name = f"chan{Channel._counter}"
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._closed = False
+        self._total_sent = 0
+
+    def send(self, item: Any, timeout: Optional[float] = None) -> Generator[Operation, Any, bool]:
+        ok = yield _SendOp(self, item, timeout)
+        return ok
+
+    def try_send(self, item: Any) -> Generator[Operation, Any, bool]:
+        """Non-blocking send (zero timeout): yields when it would fail."""
+        ok = yield _SendOp(self, item, 0.0)
+        return ok
+
+    def recv(self, timeout: Optional[float] = None) -> Generator[Operation, Any, Tuple[bool, Any]]:
+        result = yield _RecvOp(self, timeout)
+        return result
+
+    def try_recv(self) -> Generator[Operation, Any, Tuple[bool, Any]]:
+        """Non-blocking receive (zero timeout): yields when it would fail."""
+        result = yield _RecvOp(self, 0.0)
+        return result
+
+    def close(self) -> Generator[Operation, Any, None]:
+        yield _CloseOp(self)
+
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        return len(self._items)
+
+    def is_closed(self) -> bool:
+        return self._closed
+
+    def total_sent(self) -> int:
+        return self._total_sent
+
+    def state_signature(self) -> Any:
+        return ("chan", self.name, tuple(self._items), self._closed)
+
+    def __repr__(self) -> str:
+        cap = "∞" if self.capacity is None else self.capacity
+        return (f"<Channel {self.name} {len(self._items)}/{cap}"
+                f"{' closed' if self._closed else ''}>")

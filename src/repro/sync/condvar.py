@@ -1,0 +1,143 @@
+"""Condition variables (monitor-style, associated with a mutex).
+
+``wait`` is a three-phase operation — release the mutex, block until
+notified (or until a finite timeout would fire, which counts as a yield),
+reacquire the mutex.  Each phase is its own transition so the checker
+explores the classic lost-wakeup and spurious-ordering interleavings.
+
+Wakeup order is FIFO and deterministic; which *waiter* a ``notify`` wakes
+is therefore not a search dimension (the scheduler's thread choices already
+cover the interesting interleavings, and determinism is required for
+replay).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.runtime.errors import SyncUsageError
+from repro.runtime.ops import Operation
+from repro.runtime.task import Task
+from repro.sync.mutex import Mutex, MutexAcquireOp
+
+
+class _CondReleaseOp(Operation):
+    __slots__ = ("cond",)
+
+    def __init__(self, cond: "CondVar") -> None:
+        self.cond = cond
+
+    def resources(self):
+        # Releases the associated mutex as well as touching the condvar.
+        return (id(self.cond), id(self.cond.mutex))
+
+    def execute(self, vm, task) -> None:
+        mutex = self.cond.mutex
+        if mutex._owner is not task:
+            raise SyncUsageError(
+                f"{task.name} waited on {self.cond.name} without holding "
+                f"{mutex.name}"
+            )
+        mutex._owner = None
+        self.cond._waiting.append(task)
+
+    def describe(self) -> str:
+        return f"cond_wait_release({self.cond.name})"
+
+
+class _CondBlockOp(Operation):
+    resource_attr = "cond"
+    __slots__ = ("cond", "timeout")
+
+    def __init__(self, cond: "CondVar", timeout: Optional[float]) -> None:
+        self.cond = cond
+        self.timeout = timeout
+
+    def enabled(self, vm, task) -> bool:
+        return task in self.cond._woken or self.timeout is not None
+
+    def is_yielding(self, vm, task) -> bool:
+        return self.timeout is not None and task not in self.cond._woken
+
+    def execute(self, vm, task) -> bool:
+        if task in self.cond._woken:
+            self.cond._woken.remove(task)
+            return True
+        # Timeout: abandon the wait.
+        if task in self.cond._waiting:
+            self.cond._waiting.remove(task)
+        return False
+
+    def describe(self) -> str:
+        suffix = "" if self.timeout is None else f", timeout={self.timeout:g}"
+        return f"cond_block({self.cond.name}{suffix})"
+
+
+class _CondNotifyOp(Operation):
+    resource_attr = "cond"
+    __slots__ = ("cond", "all")
+
+    def __init__(self, cond: "CondVar", notify_all: bool) -> None:
+        self.cond = cond
+        self.all = notify_all
+
+    def execute(self, vm, task) -> None:
+        if self.all:
+            self.cond._woken.extend(self.cond._waiting)
+            self.cond._waiting.clear()
+        elif self.cond._waiting:
+            self.cond._woken.append(self.cond._waiting.pop(0))
+
+    def describe(self) -> str:
+        verb = "notify_all" if self.all else "notify"
+        return f"{verb}({self.cond.name})"
+
+
+class CondVar:
+    """A condition variable bound to a :class:`~repro.sync.mutex.Mutex`."""
+
+    _counter = 0
+
+    def __init__(self, mutex: Mutex, name: Optional[str] = None) -> None:
+        if name is None:
+            CondVar._counter += 1
+            name = f"cond{CondVar._counter}"
+        self.name = name
+        self.mutex = mutex
+        self._waiting: List[Task] = []
+        self._woken: List[Task] = []
+
+    def wait(self, timeout: Optional[float] = None) -> Generator[Operation, Any, bool]:
+        """Release the mutex, block for a notification, reacquire.
+
+        Returns ``True`` if notified, ``False`` if the finite timeout fired
+        (the mutex is reacquired either way, as with real condvars).
+        """
+        yield _CondReleaseOp(self)
+        notified = yield _CondBlockOp(self, timeout)
+        yield MutexAcquireOp(self.mutex, None)
+        return notified
+
+    def notify(self) -> Generator[Operation, Any, None]:
+        """Wake one waiter (FIFO). No-op when nobody waits — notifications
+        are not remembered, enabling lost-wakeup bugs to manifest."""
+        yield _CondNotifyOp(self, notify_all=False)
+
+    def notify_all(self) -> Generator[Operation, Any, None]:
+        yield _CondNotifyOp(self, notify_all=True)
+
+    # ------------------------------------------------------------------
+    def waiter_count(self) -> int:
+        return len(self._waiting)
+
+    def state_signature(self) -> Any:
+        return (
+            "cond",
+            self.name,
+            tuple(t.name for t in self._waiting),
+            tuple(t.name for t in self._woken),
+        )
+
+    def __repr__(self) -> str:
+        return (f"<CondVar {self.name} waiting={len(self._waiting)} "
+                f"woken={len(self._woken)}>")

@@ -1,0 +1,112 @@
+"""Win32-style events (manual- and auto-reset).
+
+These are the primitives the paper's "manual modification" workflow used to
+make programs terminating (Section 4.1): a spin loop on a shared variable
+is replaced by a blocking ``event.wait()`` signaled by the writer.  Both
+the spin-loop and the event-based versions of Figure 3 live in
+:mod:`repro.workloads.spinloop`, so the cost of that manual effort can be
+compared directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.runtime.ops import Operation
+
+
+class _EventWaitOp(Operation):
+    resource_attr = "event"
+    __slots__ = ("event", "timeout")
+
+    def __init__(self, event: "Event", timeout: Optional[float]) -> None:
+        self.event = event
+        self.timeout = timeout
+
+    def enabled(self, vm, task) -> bool:
+        return self.event._signaled or self.timeout is not None
+
+    def is_yielding(self, vm, task) -> bool:
+        return self.timeout is not None and not self.event._signaled
+
+    def execute(self, vm, task) -> bool:
+        if self.event._signaled:
+            if self.event._auto_reset:
+                self.event._signaled = False
+            return True
+        return False
+
+    def describe(self) -> str:
+        suffix = "" if self.timeout is None else f", timeout={self.timeout:g}"
+        return f"wait({self.event.name}{suffix})"
+
+
+class _EventSetOp(Operation):
+    resource_attr = "event"
+    __slots__ = ("event",)
+
+    def __init__(self, event: "Event") -> None:
+        self.event = event
+
+    def execute(self, vm, task) -> None:
+        self.event._signaled = True
+
+    def describe(self) -> str:
+        return f"set({self.event.name})"
+
+
+class _EventResetOp(Operation):
+    resource_attr = "event"
+    __slots__ = ("event",)
+
+    def __init__(self, event: "Event") -> None:
+        self.event = event
+
+    def execute(self, vm, task) -> None:
+        self.event._signaled = False
+
+    def describe(self) -> str:
+        return f"reset({self.event.name})"
+
+
+class Event:
+    """A signalable event.
+
+    Manual-reset events stay signaled until :meth:`reset`; auto-reset
+    events release exactly one waiter per :meth:`set` (the released wait
+    consumes the signal atomically).
+    """
+
+    _counter = 0
+
+    def __init__(self, signaled: bool = False, auto_reset: bool = False,
+                 name: Optional[str] = None) -> None:
+        if name is None:
+            Event._counter += 1
+            name = f"event{Event._counter}"
+        self.name = name
+        self._signaled = signaled
+        self._auto_reset = auto_reset
+
+    def wait(self, timeout: Optional[float] = None) -> Generator[Operation, Any, bool]:
+        """Block until signaled; with a finite timeout, may return ``False``
+        (and counts as a yield when it would)."""
+        ok = yield _EventWaitOp(self, timeout)
+        return ok
+
+    def set(self) -> Generator[Operation, Any, None]:
+        yield _EventSetOp(self)
+
+    def reset(self) -> Generator[Operation, Any, None]:
+        yield _EventResetOp(self)
+
+    # ------------------------------------------------------------------
+    def is_signaled(self) -> bool:
+        return self._signaled
+
+    def state_signature(self) -> Any:
+        return ("event", self.name, self._signaled)
+
+    def __repr__(self) -> str:
+        kind = "auto" if self._auto_reset else "manual"
+        return f"<Event {self.name} ({kind}) signaled={self._signaled}>"

@@ -1,0 +1,135 @@
+"""Mutexes with ``Acquire`` / ``TryAcquire`` / ``Release`` — Figure 1's API.
+
+Yield inference (Section 4 of the paper): every synchronization operation
+with a finite timeout is treated as yielding *when it would time out*.
+``try_acquire`` is an acquire with a zero timeout, so a failing
+``try_acquire`` is a yielding transition — this is exactly what lets the
+fair scheduler both tolerate and expose the dining-philosophers livelock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.runtime.errors import SyncUsageError
+from repro.runtime.ops import Operation
+from repro.runtime.task import Task
+
+
+class MutexAcquireOp(Operation):
+    resource_attr = "mutex"
+    __slots__ = ("mutex", "timeout")
+
+    def __init__(self, mutex: "Mutex", timeout: Optional[float]) -> None:
+        self.mutex = mutex
+        self.timeout = timeout
+
+    def enabled(self, vm, task) -> bool:
+        return self.mutex._owner is None or self.timeout is not None
+
+    def is_yielding(self, vm, task) -> bool:
+        return self.timeout is not None and self.mutex._owner is not None
+
+    def execute(self, vm, task) -> bool:
+        if self.mutex._owner is None:
+            self.mutex._owner = task
+            return True
+        return False  # timed out
+
+    def describe(self) -> str:
+        suffix = "" if self.timeout is None else f", timeout={self.timeout:g}"
+        return f"acquire({self.mutex.name}{suffix})"
+
+
+class MutexTryAcquireOp(Operation):
+    resource_attr = "mutex"
+    __slots__ = ("mutex",)
+
+    def __init__(self, mutex: "Mutex") -> None:
+        self.mutex = mutex
+
+    def is_yielding(self, vm, task) -> bool:
+        # A zero-timeout wait: yields exactly when the acquire would fail.
+        return self.mutex._owner is not None
+
+    def execute(self, vm, task) -> bool:
+        if self.mutex._owner is None:
+            self.mutex._owner = task
+            return True
+        return False
+
+    def describe(self) -> str:
+        return f"try_acquire({self.mutex.name})"
+
+
+class MutexReleaseOp(Operation):
+    resource_attr = "mutex"
+    __slots__ = ("mutex",)
+
+    def __init__(self, mutex: "Mutex") -> None:
+        self.mutex = mutex
+
+    def execute(self, vm, task) -> None:
+        owner = self.mutex._owner
+        if owner is not task:
+            holder = owner.name if owner is not None else "nobody"
+            raise SyncUsageError(
+                f"{task.name} released {self.mutex.name} held by {holder}"
+            )
+        self.mutex._owner = None
+
+    def describe(self) -> str:
+        return f"release({self.mutex.name})"
+
+
+class Mutex:
+    """A non-reentrant mutual-exclusion lock.
+
+    A blocking :meth:`acquire` by the current owner self-deadlocks (the
+    thread becomes permanently disabled), which the checker reports as a
+    deadlock — the same behavior as a Win32 non-reentrant lock under CHESS.
+    """
+
+    _counter = 0
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        if name is None:
+            Mutex._counter += 1
+            name = f"mutex{Mutex._counter}"
+        self.name = name
+        self._owner: Optional[Task] = None
+
+    # ------------------------------------------------------------------
+    # Operations (use with ``yield from`` inside thread bodies)
+    # ------------------------------------------------------------------
+    def acquire(self, timeout: Optional[float] = None) -> Generator[Operation, Any, bool]:
+        """Acquire the mutex; with a finite ``timeout`` this may fail
+        (returning ``False``) and counts as a yield when it does."""
+        ok = yield MutexAcquireOp(self, timeout)
+        return ok
+
+    def try_acquire(self) -> Generator[Operation, Any, bool]:
+        """Figure 1's ``TryAcquire``: never blocks, yields on failure."""
+        ok = yield MutexTryAcquireOp(self)
+        return ok
+
+    def release(self) -> Generator[Operation, Any, None]:
+        yield MutexReleaseOp(self)
+
+    # ------------------------------------------------------------------
+    # Non-scheduling introspection (for assertions and state extraction)
+    # ------------------------------------------------------------------
+    def held(self) -> bool:
+        return self._owner is not None
+
+    def held_by(self, task: Task) -> bool:
+        return self._owner is task
+
+    def owner_name(self) -> Optional[str]:
+        return self._owner.name if self._owner is not None else None
+
+    def state_signature(self) -> Any:
+        return ("mutex", self.name, self.owner_name())
+
+    def __repr__(self) -> str:
+        return f"<Mutex {self.name} owner={self.owner_name()}>"

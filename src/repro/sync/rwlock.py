@@ -1,0 +1,150 @@
+"""Reader–writer locks (writer-exclusive, no writer preference).
+
+Used by the Dryad-channel substitute and the mini-OS workload; also a good
+stress of enable/disable bookkeeping — acquiring a write lock disables all
+pending readers, which feeds Algorithm 1's ``D(t)`` sets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Set
+
+from repro.runtime.errors import SyncUsageError
+from repro.runtime.ops import Operation
+from repro.runtime.task import Task
+
+
+class _ReadAcquireOp(Operation):
+    resource_attr = "lock"
+    __slots__ = ("lock", "timeout")
+
+    def __init__(self, lock: "RWLock", timeout: Optional[float]) -> None:
+        self.lock = lock
+        self.timeout = timeout
+
+    def enabled(self, vm, task) -> bool:
+        return self.lock._writer is None or self.timeout is not None
+
+    def is_yielding(self, vm, task) -> bool:
+        return self.timeout is not None and self.lock._writer is not None
+
+    def execute(self, vm, task) -> bool:
+        if self.lock._writer is None:
+            self.lock._readers.add(task)
+            return True
+        return False
+
+    def describe(self) -> str:
+        return f"read_acquire({self.lock.name})"
+
+
+class _ReadReleaseOp(Operation):
+    resource_attr = "lock"
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: "RWLock") -> None:
+        self.lock = lock
+
+    def execute(self, vm, task) -> None:
+        if task not in self.lock._readers:
+            raise SyncUsageError(
+                f"{task.name} released read lock {self.lock.name} it "
+                f"does not hold"
+            )
+        self.lock._readers.discard(task)
+
+    def describe(self) -> str:
+        return f"read_release({self.lock.name})"
+
+
+class _WriteAcquireOp(Operation):
+    resource_attr = "lock"
+    __slots__ = ("lock", "timeout")
+
+    def __init__(self, lock: "RWLock", timeout: Optional[float]) -> None:
+        self.lock = lock
+        self.timeout = timeout
+
+    def _free(self) -> bool:
+        return self.lock._writer is None and not self.lock._readers
+
+    def enabled(self, vm, task) -> bool:
+        return self._free() or self.timeout is not None
+
+    def is_yielding(self, vm, task) -> bool:
+        return self.timeout is not None and not self._free()
+
+    def execute(self, vm, task) -> bool:
+        if self._free():
+            self.lock._writer = task
+            return True
+        return False
+
+    def describe(self) -> str:
+        return f"write_acquire({self.lock.name})"
+
+
+class _WriteReleaseOp(Operation):
+    resource_attr = "lock"
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: "RWLock") -> None:
+        self.lock = lock
+
+    def execute(self, vm, task) -> None:
+        if self.lock._writer is not task:
+            raise SyncUsageError(
+                f"{task.name} released write lock {self.lock.name} it "
+                f"does not hold"
+            )
+        self.lock._writer = None
+
+    def describe(self) -> str:
+        return f"write_release({self.lock.name})"
+
+
+class RWLock:
+    """Multiple readers or one writer."""
+
+    _counter = 0
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        if name is None:
+            RWLock._counter += 1
+            name = f"rwlock{RWLock._counter}"
+        self.name = name
+        self._readers: Set[Task] = set()
+        self._writer: Optional[Task] = None
+
+    def acquire_read(self, timeout: Optional[float] = None) -> Generator[Operation, Any, bool]:
+        ok = yield _ReadAcquireOp(self, timeout)
+        return ok
+
+    def release_read(self) -> Generator[Operation, Any, None]:
+        yield _ReadReleaseOp(self)
+
+    def acquire_write(self, timeout: Optional[float] = None) -> Generator[Operation, Any, bool]:
+        ok = yield _WriteAcquireOp(self, timeout)
+        return ok
+
+    def release_write(self) -> Generator[Operation, Any, None]:
+        yield _WriteReleaseOp(self)
+
+    # ------------------------------------------------------------------
+    def reader_count(self) -> int:
+        return len(self._readers)
+
+    def has_writer(self) -> bool:
+        return self._writer is not None
+
+    def state_signature(self) -> Any:
+        return (
+            "rwlock",
+            self.name,
+            tuple(sorted(t.name for t in self._readers)),
+            self._writer.name if self._writer else None,
+        )
+
+    def __repr__(self) -> str:
+        return (f"<RWLock {self.name} readers={len(self._readers)} "
+                f"writer={self._writer.name if self._writer else None}>")

@@ -1,0 +1,104 @@
+"""Counting semaphores."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.runtime.errors import SyncUsageError
+from repro.runtime.ops import Operation
+
+
+class _SemWaitOp(Operation):
+    resource_attr = "sem"
+    __slots__ = ("sem", "timeout")
+
+    def __init__(self, sem: "Semaphore", timeout: Optional[float]) -> None:
+        self.sem = sem
+        self.timeout = timeout
+
+    def enabled(self, vm, task) -> bool:
+        return self.sem._count > 0 or self.timeout is not None
+
+    def is_yielding(self, vm, task) -> bool:
+        return self.timeout is not None and self.sem._count == 0
+
+    def execute(self, vm, task) -> bool:
+        if self.sem._count > 0:
+            self.sem._count -= 1
+            return True
+        return False
+
+    def describe(self) -> str:
+        suffix = "" if self.timeout is None else f", timeout={self.timeout:g}"
+        return f"sem_wait({self.sem.name}{suffix})"
+
+
+class _SemReleaseOp(Operation):
+    resource_attr = "sem"
+    __slots__ = ("sem", "n")
+
+    def __init__(self, sem: "Semaphore", n: int) -> None:
+        self.sem = sem
+        self.n = n
+
+    def execute(self, vm, task) -> None:
+        new_count = self.sem._count + self.n
+        if self.sem._max is not None and new_count > self.sem._max:
+            raise SyncUsageError(
+                f"{task.name} released {self.sem.name} above its maximum "
+                f"({new_count} > {self.sem._max})"
+            )
+        self.sem._count = new_count
+
+    def describe(self) -> str:
+        return f"sem_release({self.sem.name}, {self.n})"
+
+
+class Semaphore:
+    """A counting semaphore with optional maximum count.
+
+    ``wait(timeout=...)`` is a yielding operation whenever it would time
+    out (count is zero), per the paper's yield inference.
+    """
+
+    _counter = 0
+
+    def __init__(self, initial: int = 0, maximum: Optional[int] = None,
+                 name: Optional[str] = None) -> None:
+        if initial < 0:
+            raise ValueError("initial count must be non-negative")
+        if maximum is not None and initial > maximum:
+            raise ValueError("initial count exceeds maximum")
+        if name is None:
+            Semaphore._counter += 1
+            name = f"sem{Semaphore._counter}"
+        self.name = name
+        self._count = initial
+        self._max = maximum
+
+    def wait(self, timeout: Optional[float] = None) -> Generator[Operation, Any, bool]:
+        """Decrement the count, blocking while it is zero.
+
+        Returns ``True`` on success, ``False`` if the finite timeout fired.
+        """
+        ok = yield _SemWaitOp(self, timeout)
+        return ok
+
+    acquire = wait
+
+    def release(self, n: int = 1) -> Generator[Operation, Any, None]:
+        """Increment the count by ``n`` (checked against the maximum)."""
+        if n < 1:
+            raise ValueError("release count must be positive")
+        yield _SemReleaseOp(self, n)
+
+    # ------------------------------------------------------------------
+    def count(self) -> int:
+        """Current count (non-scheduling; for assertions/state extraction)."""
+        return self._count
+
+    def state_signature(self) -> Any:
+        return ("sem", self.name, self._count)
+
+    def __repr__(self) -> str:
+        return f"<Semaphore {self.name} count={self._count}>"

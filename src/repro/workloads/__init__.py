@@ -1,0 +1,8 @@
+"""The paper's evaluation programs (and their substitutes).
+
+Each module exposes factory functions returning
+:class:`~repro.runtime.program.VMProgram` objects, parameterized the way
+the evaluation needs them (number of philosophers/stealers, which seeded
+bug variant is active, ...).  See DESIGN.md for the substitution rationale
+on the proprietary systems (Dryad, APE, Singularity).
+"""

@@ -1,0 +1,154 @@
+"""APE — an asynchronous processing environment (substitute).
+
+The paper tests "APE (Asynchronous Processing Environment), a library in
+the Windows operating system that provides a set of data structures and
+functions for asynchronous multithreaded code" (Table 1: 4 threads, ~250
+sync ops per execution).  APE is not public; this module builds the
+closest open equivalent: a completion-port-style executor —
+
+* clients *post* work items to a shared queue;
+* worker threads dequeue, run the item, and push a completion record to a
+  completion port (a second queue);
+* clients harvest completions, spinning with yields while none are ready;
+* shutdown raises a stop flag and drains the workers.
+
+The idle loops of workers and clients make the library nonterminating
+without fairness — exactly the class of input CHESS could not handle
+before the fair scheduler.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+from repro.runtime.api import check, join, sleep, yield_now
+from repro.runtime.program import VMProgram
+from repro.sync.atomics import SharedVar
+from repro.sync.mutex import Mutex
+
+
+class CompletionPort:
+    """A queue of completion records, polled by clients."""
+
+    def __init__(self, name: str = "port") -> None:
+        self.name = name
+        self._lock = Mutex(name=f"{name}.lock")
+        self._completions: Deque[Any] = deque()
+
+    def post(self, record: Any):
+        yield from self._lock.acquire()
+        self._completions.append(record)
+        yield from self._lock.release()
+
+    def try_harvest(self):
+        """Non-blocking poll: ``(ok, record)``."""
+        yield from self._lock.acquire()
+        record = self._completions.popleft() if self._completions else None
+        yield from self._lock.release()
+        return (record is not None, record)
+
+    def pending(self) -> int:
+        return len(self._completions)
+
+    def state_signature(self) -> Any:
+        return (self.name, tuple(map(repr, self._completions)),
+                self._lock.owner_name())
+
+
+class ApeEnvironment:
+    """The async work-item executor."""
+
+    def __init__(self, name: str = "ape") -> None:
+        self.name = name
+        self._lock = Mutex(name=f"{name}.qlock")
+        self._work: Deque[Tuple[int, Callable[[], Any]]] = deque()
+        self.port = CompletionPort(name=f"{name}.port")
+        self.stop = SharedVar(False, name=f"{name}.stop")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def post_work(self, item: Callable[[], Any]):
+        """Submit one work item; evaluates to its completion key."""
+        yield from self._lock.acquire()
+        key = self._next_id
+        self._next_id += 1
+        self._work.append((key, item))
+        yield from self._lock.release()
+        return key
+
+    def _take_work(self):
+        yield from self._lock.acquire()
+        entry = self._work.popleft() if self._work else None
+        yield from self._lock.release()
+        return entry
+
+    def worker_loop(self):
+        """Body of one worker thread: drain work until stopped + empty."""
+        while True:
+            entry = yield from self._take_work()
+            if entry is not None:
+                key, item = entry
+                result = item()
+                yield from self.port.post((key, result))
+                continue
+            stopping = yield from self.stop.get()
+            if stopping:
+                break
+            yield from sleep(1)  # idle: be a good samaritan
+
+    def shutdown(self):
+        yield from self.stop.set(True)
+
+    def state_signature(self) -> Any:
+        return (
+            self.name,
+            tuple(key for key, _ in self._work),
+            self.port.state_signature(),
+            self.stop.peek(),
+        )
+
+
+def ape_program(items: int = 2, workers: int = 2) -> VMProgram:
+    """Harness: one client posts ``items`` work items, harvests all the
+    completions (spinning with yields), then shuts the environment down
+    and checks exactly-once completion."""
+
+    def setup(env):
+        ape = ApeEnvironment()
+
+        def worker():
+            yield from ape.worker_loop()
+
+        worker_tasks = [
+            env.spawn(worker, name=f"ape-worker{i + 1}")
+            for i in range(workers)
+        ]
+
+        def client():
+            keys = []
+            for i in range(items):
+                key = yield from ape.post_work(lambda i=i: i * i)
+                keys.append(key)
+            harvested = {}
+            while len(harvested) < items:
+                ok, record = yield from ape.port.try_harvest()
+                if not ok:
+                    yield from yield_now()
+                    continue
+                key, result = record
+                check(key not in harvested, f"completion {key} delivered twice")
+                harvested[key] = result
+            check(
+                sorted(harvested) == keys
+                and all(harvested[k] == k * k for k in keys),
+                f"wrong completions: {harvested!r}",
+            )
+            yield from ape.shutdown()
+            for task in worker_tasks:
+                yield from join(task)
+
+        env.spawn(client, name="client")
+        env.set_state_fn(ape.state_signature)
+
+    return VMProgram(setup, name=f"ape(items={items}, workers={workers})")

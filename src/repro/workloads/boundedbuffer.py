@@ -1,0 +1,153 @@
+"""Bounded buffer over mutex + condition variables.
+
+The monitor-style producer/consumer is the canonical condvar workload and
+carries the two classic bugs every concurrency lecture warns about; both
+are one-token mutations here, and both need specific interleavings that
+stress testing rarely produces:
+
+* ``bug="if"`` — the wait predicate is checked with ``if`` instead of
+  ``while``.  With two consumers and ``notify_all``, both wake, both
+  pop, and the second pops from an empty buffer.
+* ``bug="missed-notify"`` — the producer only notifies when the buffer
+  *was* empty ("nobody can be waiting otherwise"); a consumer that
+  checked emptiness but has not yet finished registering its wait misses
+  the signal and blocks forever — a **deadlock** once everyone else
+  finishes, found naturally by the checker's enabled-set emptiness test.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.engine.monitors import invariant
+from repro.runtime.api import check, join
+from repro.runtime.program import VMProgram
+from repro.sync.condvar import CondVar
+from repro.sync.mutex import Mutex
+
+
+class BoundedBuffer:
+    """A fixed-capacity FIFO guarded by a mutex and two condvars."""
+
+    def __init__(self, capacity: int = 1, *, bug: Optional[str] = None,
+                 name: str = "buffer") -> None:
+        if bug not in (None, "if", "missed-notify"):
+            raise ValueError(f"unknown bug {bug!r}")
+        self.name = name
+        self.capacity = capacity
+        self.bug = bug
+        self.items: Deque[Any] = deque()
+        self.lock = Mutex(name=f"{name}.lock")
+        self.not_empty = CondVar(self.lock, name=f"{name}.not_empty")
+        self.not_full = CondVar(self.lock, name=f"{name}.not_full")
+
+    # ------------------------------------------------------------------
+    def put(self, item: Any):
+        yield from self.lock.acquire()
+        while len(self.items) >= self.capacity:
+            yield from self.not_full.wait()
+        was_empty = not self.items
+        self.items.append(item)
+        if self.bug == "missed-notify":
+            # BUG: only signal when the buffer was empty; a consumer
+            # between its emptiness check and its wait registration
+            # misses the wakeup forever.
+            if was_empty:
+                yield from self.not_empty.notify()
+        else:
+            yield from self.not_empty.notify()
+        yield from self.lock.release()
+
+    def take(self):
+        yield from self.lock.acquire()
+        if self.bug == "if":
+            # BUG: 'if' instead of 'while' — a woken consumer must
+            # re-check, because a sibling may have emptied the buffer.
+            if not self.items:
+                yield from self.not_empty.wait()
+        else:
+            while not self.items:
+                yield from self.not_empty.wait()
+        check(bool(self.items),
+              f"take() from empty {self.name} (woken without an item)")
+        item = self.items.popleft()
+        yield from self.not_full.notify()
+        yield from self.lock.release()
+        return item
+
+    # ------------------------------------------------------------------
+    def state_signature(self) -> Any:
+        return (
+            self.name,
+            tuple(self.items),
+            self.lock.owner_name(),
+            self.not_empty.state_signature(),
+            self.not_full.state_signature(),
+        )
+
+
+def bounded_buffer_program(
+    items: int = 2,
+    consumers: int = 2,
+    *,
+    capacity: int = 1,
+    bug: Optional[str] = None,
+    notify_all: bool = False,
+) -> VMProgram:
+    """One producer, ``consumers`` consumers, exactly-once accounting.
+
+    ``notify_all=True`` swaps the producer's ``notify`` for
+    ``notify_all`` — the configuration under which the ``if`` bug fires.
+    """
+    payload = list(range(items))
+
+    def setup(env):
+        buffer = BoundedBuffer(capacity=capacity, bug=bug)
+        taken: List[Any] = []
+        shares = [len(payload[i::consumers]) for i in range(consumers)]
+
+        def producer():
+            for item in payload:
+                if notify_all and bug == "if":
+                    # Drive the bug: publish, then wake *everyone*.
+                    yield from buffer.lock.acquire()
+                    while len(buffer.items) >= buffer.capacity:
+                        yield from buffer.not_full.wait()
+                    buffer.items.append(item)
+                    yield from buffer.not_empty.notify_all()
+                    yield from buffer.lock.release()
+                else:
+                    yield from buffer.put(item)
+
+        def consumer(quota: int):
+            for _ in range(quota):
+                item = yield from buffer.take()
+                taken.append(item)
+
+        tasks = [env.spawn(producer, name="producer")]
+        tasks += [
+            env.spawn(consumer, shares[i], name=f"consumer{i + 1}")
+            for i in range(consumers)
+        ]
+
+        def auditor():
+            for task in tasks:
+                yield from join(task)
+            check(sorted(taken) == payload,
+                  f"consumed {sorted(taken)!r}, produced {payload!r}")
+
+        env.spawn(auditor, name="auditor")
+        env.add_monitor(invariant(
+            lambda: len(buffer.items) <= buffer.capacity,
+            "buffer exceeded its capacity",
+        ))
+        env.set_state_fn(lambda: (
+            buffer.state_signature(), tuple(sorted(taken)),
+        ))
+
+    suffix = f", bug={bug}" if bug else ""
+    return VMProgram(
+        setup,
+        name=f"bounded-buffer(items={items}, consumers={consumers}{suffix})",
+    )

@@ -1,0 +1,235 @@
+"""A snooping MSI cache-coherence protocol under the checker.
+
+Section 2 of the paper names cache-coherence protocols as the archetypal
+system "designed to run forever", made checkable by a harness that
+"limits the number of cache requests from the external environment".
+This module builds exactly that: a bus-based MSI protocol over one cache
+line, with per-cache agent threads serving a *bounded* request script —
+fair-terminating by construction, nonterminating without fairness
+(upgrade-retry loops).
+
+Protocol (standard MSI, snooping bus serialized by a lock):
+
+* ``read`` miss (I): acquire the bus, issue BusRd — every Modified peer
+  writes back and downgrades to Shared — load the line Shared.
+* ``write`` (I or S): acquire the bus, issue BusRdX/BusUpgr — every peer
+  invalidates (Modified peers write back first) — install Modified and
+  write.
+* Hits (read in M/S, write in M) complete without the bus.
+
+Upgrade races: two Shared caches that both want to write contend for the
+bus; the loser finds itself Invalidated and must retry the whole
+transaction.  The retry loop yields (good samaritan), and under the fair
+scheduler always makes progress.  ``bug="upgrade-livelock"`` installs a
+"polite" variant that *backs off and releases the bus when it observes a
+concurrent writer intent*, mirroring Figure 1's try-and-retry structure
+— two writers can then defer to each other forever, a genuine protocol
+livelock that only fair stateless checking can call an error.
+
+Safety (checked continuously by monitors):
+
+* **single-writer** — at most one cache holds the line Modified, and
+  then nobody else holds it Shared;
+* **value coherence** — every cached copy of a Shared line equals
+  memory; reads observe the most recent write (checked by the harness
+  audit via a sequentially consistent write log).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.monitors import invariant
+from repro.runtime.api import check, join, yield_now
+from repro.runtime.program import VMProgram
+from repro.sync.atomics import SharedVar
+from repro.sync.mutex import Mutex
+
+INVALID = "I"
+SHARED = "S"
+MODIFIED = "M"
+
+
+class Line:
+    """One cache's copy of the line."""
+
+    def __init__(self, cache_id: int) -> None:
+        self.cache_id = cache_id
+        self.state = INVALID
+        self.value: Any = None
+
+    def signature(self) -> Tuple:
+        return (self.state, self.value)
+
+
+class CoherentSystem:
+    """Shared state: memory, the bus lock, and every cache's line."""
+
+    def __init__(self, n_caches: int, *, bug: Optional[str] = None) -> None:
+        if bug not in (None, "upgrade-livelock"):
+            raise ValueError(f"unknown bug {bug!r}")
+        self.bug = bug
+        self.bus = Mutex(name="bus")
+        self.memory = SharedVar(0, name="memory")
+        self.lines = [Line(i) for i in range(n_caches)]
+        #: Write-intent flags for the buggy polite-backoff variant.
+        self.want_write = [SharedVar(False, name=f"want{i}")
+                           for i in range(n_caches)]
+        #: Sequentially consistent write log for the audit.
+        self.write_log: List[Any] = [0]
+
+    # ------------------------------------------------------------------
+    # Bus transactions (caller must hold the bus).
+    # ------------------------------------------------------------------
+    def _snoop_bus_rd(self, requester: int):
+        """Peers with Modified copies write back and downgrade."""
+        for line in self.lines:
+            if line.cache_id != requester and line.state == MODIFIED:
+                yield from self.memory.set(line.value)
+                line.state = SHARED
+        value = yield from self.memory.get()
+        return value
+
+    def _snoop_bus_rdx(self, requester: int):
+        """Peers invalidate (Modified peers write back first)."""
+        for line in self.lines:
+            if line.cache_id == requester:
+                continue
+            if line.state == MODIFIED:
+                yield from self.memory.set(line.value)
+            line.state = INVALID
+        value = yield from self.memory.get()
+        return value
+
+    # ------------------------------------------------------------------
+    # Cache-agent operations.
+    # ------------------------------------------------------------------
+    def read(self, cache_id: int):
+        line = self.lines[cache_id]
+        if line.state in (SHARED, MODIFIED):
+            return line.value  # hit
+        yield from self.bus.acquire()
+        value = yield from self._snoop_bus_rd(cache_id)
+        line.state = SHARED
+        line.value = value
+        yield from self.bus.release()
+        return value
+
+    def write(self, cache_id: int, value: Any):
+        line = self.lines[cache_id]
+        while True:
+            if line.state == MODIFIED:
+                line.value = value  # hit
+                self.write_log.append(value)
+                return
+            yield from self.want_write[cache_id].set(True)
+            yield from self.bus.acquire()
+            if self.bug == "upgrade-livelock":
+                # BUG: be "polite" — if any peer also intends to write,
+                # give way and retry.  Two polite writers defer to each
+                # other forever: a fair cycle, i.e. a livelock.
+                contended = False
+                for peer in range(len(self.lines)):
+                    if peer == cache_id:
+                        continue
+                    if (yield from self.want_write[peer].get()):
+                        contended = True
+                        break
+                if contended:
+                    yield from self.bus.release()
+                    yield from yield_now()
+                    continue
+            yield from self._snoop_bus_rdx(cache_id)
+            line.state = MODIFIED
+            line.value = value
+            self.write_log.append(value)
+            yield from self.want_write[cache_id].set(False)
+            yield from self.bus.release()
+            return
+
+    # ------------------------------------------------------------------
+    def single_writer_invariant(self) -> bool:
+        modified = [l for l in self.lines if l.state == MODIFIED]
+        if len(modified) > 1:
+            return False
+        if modified and any(l.state == SHARED for l in self.lines):
+            return False
+        return True
+
+    def shared_matches_memory(self) -> bool:
+        return all(l.value == self.memory.peek()
+                   for l in self.lines if l.state == SHARED)
+
+    def state_signature(self) -> Any:
+        return (
+            tuple(line.signature() for line in self.lines),
+            self.memory.peek(),
+            self.bus.owner_name(),
+            tuple(w.peek() for w in self.want_write),
+        )
+
+
+def coherence_program(
+    scripts: Optional[Sequence[Sequence[Tuple[str, Any]]]] = None,
+    *,
+    bug: Optional[str] = None,
+) -> VMProgram:
+    """The bounded-request harness.
+
+    ``scripts[i]`` is cache *i*'s request list: ``("r", None)`` for a
+    read, ``("w", value)`` for a write.  The default is the minimal
+    upgrade-race configuration: two caches that each read then write.
+    Reads are audited against the write log (every observed value must
+    have been written, and memory must end consistent).
+    """
+    if scripts is None:
+        scripts = [
+            [("r", None), ("w", 10)],
+            [("r", None), ("w", 20)],
+        ]
+    scripts = [list(s) for s in scripts]
+
+    def setup(env):
+        system = CoherentSystem(len(scripts), bug=bug)
+        observed: List[Any] = []
+
+        def agent(cache_id: int, script):
+            for kind, value in script:
+                if kind == "r":
+                    result = yield from system.read(cache_id)
+                    observed.append(result)
+                else:
+                    yield from system.write(cache_id, value)
+                yield from yield_now()  # between external requests
+
+        tasks = [
+            env.spawn(agent, i, script, name=f"cache{i}")
+            for i, script in enumerate(scripts)
+        ]
+
+        def auditor():
+            for task in tasks:
+                yield from join(task)
+            written = set(system.write_log)
+            check(all(value in written for value in observed),
+                  f"read returned a never-written value: {observed!r}")
+            # Flush: all Modified data must be recoverable.
+            modified = [l for l in system.lines if l.state == MODIFIED]
+            final = (modified[0].value if modified
+                     else system.memory.peek())
+            check(final in written, f"final value {final!r} never written")
+
+        env.spawn(auditor, name="auditor")
+        env.add_monitor(invariant(system.single_writer_invariant,
+                                  "two Modified copies of the line"))
+        env.add_monitor(invariant(system.shared_matches_memory,
+                                  "a Shared copy diverged from memory"))
+        env.set_state_fn(lambda: (
+            system.state_signature(), tuple(observed),
+        ))
+
+    suffix = f", bug={bug}" if bug else ""
+    return VMProgram(
+        setup,
+        name=f"msi-coherence(caches={len(scripts)}{suffix})",
+    )

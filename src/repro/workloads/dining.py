@@ -1,0 +1,112 @@
+"""Dining philosophers (Figure 1) and the harnessed coverage variant.
+
+:func:`dining_philosophers_livelock` is Figure 1 verbatim, generalized to
+``n`` philosophers: every philosopher grabs its first fork, *tries* the
+second, and on failure releases and retries.  The failing ``TryAcquire``
+is the yielding transition (a zero-timeout wait).  The all-retry protocol
+livelocks: the cycle in which every philosopher acquires, fails and
+releases in lockstep is *fair* — the fair scheduler generates it in the
+limit and the checker reports a livelock.
+
+:func:`dining_philosophers` is the fair-terminating variant used for the
+state-coverage measurements (Table 2): philosopher ``n-1`` uses ordinary
+blocking acquires instead of the retry loop.  The retry loops still put
+cycles in the state space (this is what makes unfair depth-bounded search
+waste exponential work, Figure 2), but every cycle starves the blocking
+philosopher somewhere along it, so all cycles are unfair and the fair
+scheduler prunes them — the search terminates with full coverage.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.runtime.program import VMProgram
+from repro.sync.mutex import Mutex
+
+# Philosopher "program counters" for manual state extraction.  The
+# abstraction (pc, fork owners) is *precise*: distinct abstract values
+# correspond to distinct future behaviors, which the stateful ground-truth
+# search of Table 2 relies on.
+_HUNGRY = 0  # about to acquire the first fork
+_TRYING = 1  # holding the first fork, about to try/acquire the second
+_BACKOFF = 2  # try failed, about to release the first fork
+_EATING = 3  # got both forks, releasing them
+_DONE = 4  # finished
+
+
+def _retry_philosopher(index: int, first: Mutex, second: Mutex, pcs: List[int]):
+    """Figure 1's loop: Acquire(first); if TryAcquire(second) break; ..."""
+
+    def body():
+        while True:
+            yield from first.acquire()
+            pcs[index] = _TRYING
+            got_second = yield from second.try_acquire()
+            if got_second:
+                pcs[index] = _EATING
+                break
+            pcs[index] = _BACKOFF
+            yield from first.release()
+            pcs[index] = _HUNGRY
+        # eat
+        yield from first.release()
+        yield from second.release()
+        pcs[index] = _DONE
+
+    return body
+
+
+def _blocking_philosopher(index: int, first: Mutex, second: Mutex, pcs: List[int]):
+    """Plain hold-and-wait: breaks the symmetry that makes Fig. 1 livelock."""
+
+    def body():
+        yield from first.acquire()
+        pcs[index] = _TRYING
+        yield from second.acquire()
+        pcs[index] = _EATING
+        yield from first.release()
+        yield from second.release()
+        pcs[index] = _DONE
+
+    return body
+
+
+def _build(n: int, blocking_last: bool, name: str) -> VMProgram:
+    if n < 2:
+        raise ValueError("need at least two philosophers")
+
+    def setup(env):
+        forks = [Mutex(name=f"fork{i}") for i in range(n)]
+        pcs = [_HUNGRY] * n
+        for i in range(n):
+            first = forks[i]
+            second = forks[(i + 1) % n]
+            if blocking_last and i == n - 1:
+                body = _blocking_philosopher(i, second, first, pcs)
+            else:
+                body = _retry_philosopher(i, first, second, pcs)
+            env.spawn(body, name=f"Phil{i + 1}")
+        env.set_state_fn(
+            lambda: (tuple(pcs), tuple(f.owner_name() for f in forks))
+        )
+
+    return VMProgram(setup, name=name)
+
+
+def dining_philosophers_livelock(n: int = 2) -> VMProgram:
+    """Figure 1 exactly: all philosophers use the try-and-retry protocol.
+
+    Contains the paper's livelock — the fair transition cycle
+    ``Acquire, Acquire, TryAcquire, TryAcquire, Release, Release``.
+    """
+    return _build(n, blocking_last=False, name=f"dining-livelock({n})")
+
+
+def dining_philosophers(n: int = 2) -> VMProgram:
+    """Fair-terminating dining philosophers (the Table 2 configuration).
+
+    Cyclic state space, no fair cycles: correct, but unbearable for plain
+    depth-bounded stateless search.
+    """
+    return _build(n, blocking_last=True, name=f"dining({n})")

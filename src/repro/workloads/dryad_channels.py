@@ -1,0 +1,291 @@
+"""Dryad-style dataflow channels (substitute for the proprietary Dryad).
+
+Dryad [15] is a distributed execution engine whose vertices exchange data
+through channels/FIFOs; the paper checks its channel layer ("Dryad
+Channels", "Dryad Fifo" in Table 1) and finds four bugs (Table 3).  Dryad
+is closed-source, so we build the closest open equivalent: a bounded FIFO
+with lock + timeout-event flow control, connected into vertex pipelines
+(source → transform → sink).  The structure matches what the paper
+describes — long-running vertex threads with retry loops (nonterminating
+without fairness) and a shutdown path that must drain in-flight items.
+
+Seeded bugs (the ``bug`` parameter), one mutation each, mirroring the
+bug taxonomy of Table 3:
+
+* ``bug=1`` — check-then-act race in ``recv``: the item is popped after
+  releasing the lock; two consumers can pop the same item (or crash on an
+  empty deque).
+* ``bug=2`` — capacity check outside the lock in ``send``: concurrent
+  senders overflow the channel past its bound (caught by the capacity
+  invariant monitor).
+* ``bug=3`` — shutdown drains incorrectly: ``recv`` returns
+  end-of-stream as soon as the channel is closed, even with items still
+  queued; the sink silently loses data.
+* ``bug=4`` — the *incorrect fix* of bug 3 (as in the paper, where Dryad
+  bug 4 was introduced by the developer's fix of bug 3): the reordered
+  closed-check path returns while still holding the channel lock, and
+  every other vertex deadlocks on the channel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+from repro.engine.monitors import invariant
+from repro.runtime.api import check, join, pause
+from repro.runtime.program import VMProgram
+from repro.sync.event import Event
+from repro.sync.mutex import Mutex
+
+#: Timeout used on flow-control waits; any finite value works (it only
+#: marks the wait as a yielding operation, per CHESS's inference rule).
+_WAIT_TIMEOUT = 10.0
+
+
+class FifoChannel:
+    """A bounded FIFO between dataflow vertices."""
+
+    def __init__(self, capacity: int = 2, name: str = "fifo",
+                 bug: Optional[int] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.bug = bug
+        self.lock = Mutex(name=f"{name}.lock")
+        self.items: Deque[Any] = deque()
+        self.closed = False
+        self.not_empty = Event(auto_reset=True, name=f"{name}.not_empty")
+        self.not_full = Event(auto_reset=True, name=f"{name}.not_full")
+
+    # ------------------------------------------------------------------
+    def send(self, item: Any):
+        """Blocking bounded send (retry loop with yielding waits)."""
+        while True:
+            if self.bug == 2:
+                # BUG 2: capacity checked before taking the lock; two
+                # senders both see space and both append.
+                if len(self.items) < self.capacity:
+                    yield from self.lock.acquire()
+                    check(not self.closed, f"send on closed {self.name}")
+                    self.items.append(item)
+                    yield from self.lock.release()
+                    yield from self.not_empty.set()
+                    return
+            else:
+                yield from self.lock.acquire()
+                check(not self.closed, f"send on closed {self.name}")
+                if len(self.items) < self.capacity:
+                    self.items.append(item)
+                    yield from self.lock.release()
+                    yield from self.not_empty.set()
+                    return
+                yield from self.lock.release()
+            yield from self.not_full.wait(timeout=_WAIT_TIMEOUT)
+
+    def recv(self) -> Any:
+        """Blocking receive; ``(False, None)`` at end of stream."""
+        while True:
+            yield from self.lock.acquire()
+            if self.bug == 3 and self.closed:
+                # BUG 3: end-of-stream reported before draining the queue.
+                yield from self.lock.release()
+                return (False, None)
+            if self.bug == 4 and self.closed and not self.items:
+                # BUG 4: the "fix" of bug 3 checks emptiness first but
+                # returns while still holding the lock.
+                return (False, None)
+            if self.items:
+                if self.bug == 1:
+                    # BUG 1: pop outside the critical section.  The pause
+                    # models the instruction window between the unlocked
+                    # emptiness check and the dequeue.
+                    yield from self.lock.release()
+                    yield from pause("unlocked-pop")
+                    check(bool(self.items), f"{self.name} drained under us")
+                    item = self.items.popleft()
+                else:
+                    item = self.items.popleft()
+                    yield from self.lock.release()
+                yield from self.not_full.set()
+                return (True, item)
+            if self.closed and self.bug != 4:
+                yield from self.lock.release()
+                return (False, None)
+            if self.bug != 4 or not self.closed:
+                yield from self.lock.release()
+            yield from self.not_empty.wait(timeout=_WAIT_TIMEOUT)
+
+    def close(self):
+        yield from self.lock.acquire()
+        self.closed = True
+        yield from self.lock.release()
+        yield from self.not_empty.set()
+
+    # ------------------------------------------------------------------
+    def state_signature(self) -> Any:
+        return (
+            self.name,
+            tuple(self.items),
+            self.closed,
+            self.lock.owner_name(),
+            self.not_empty.is_signaled(),
+            self.not_full.is_signaled(),
+        )
+
+
+# ----------------------------------------------------------------------
+# Vertices
+# ----------------------------------------------------------------------
+
+def source_vertex(channel: FifoChannel, items: List[Any]):
+    def body():
+        for item in items:
+            yield from channel.send(item)
+        yield from channel.close()
+
+    return body
+
+
+def transform_vertex(inbound: FifoChannel, outbound: FifoChannel,
+                     func: Callable[[Any], Any]):
+    def body():
+        while True:
+            ok, item = yield from inbound.recv()
+            if not ok:
+                break
+            yield from outbound.send(func(item))
+        yield from outbound.close()
+
+    return body
+
+
+def sink_vertex(channel: FifoChannel, received: List[Any]):
+    def body():
+        while True:
+            ok, item = yield from channel.recv()
+            if not ok:
+                break
+            received.append(item)
+
+    return body
+
+
+def dryad_pipeline(
+    items: int = 2,
+    *,
+    capacity: int = 1,
+    bug: Optional[int] = None,
+    transforms: int = 1,
+    sources: int = 1,
+    sinks: int = 1,
+) -> VMProgram:
+    """Sources → transform(s) → sinks over bounded FIFOs ("Dryad Channels").
+
+    A small ``capacity`` forces flow-control backpressure, exercising the
+    retry loops.  With a single source and sink the auditor asserts exact
+    FIFO order; with parallelism it asserts the multiset (exactly-once).
+    Bugs 1 and 2 are races between peers, so they need ``sinks=2`` and
+    ``sources=2`` respectively to manifest.
+    """
+    if transforms and (sources > 1 or sinks > 1):
+        raise ValueError("parallel sources/sinks are supported on a "
+                         "single-channel pipeline (transforms=0)")
+    payload = list(range(items))
+    expected = sorted(value + 100 * transforms for value in payload)
+
+    def setup(env):
+        channels = [
+            FifoChannel(capacity=capacity, name=f"ch{i}", bug=bug)
+            for i in range(transforms + 1)
+        ]
+        received: List[Any] = []
+
+        tasks = []
+        # Sources share channel 0; the last one to finish closes it.
+        remaining_sources = [sources]
+        shares = [payload[i::sources] for i in range(sources)]
+
+        def sharing_source(share):
+            for item in share:
+                yield from channels[0].send(item)
+            remaining_sources[0] -= 1
+            if remaining_sources[0] == 0:
+                yield from channels[0].close()
+
+        for i in range(sources):
+            tasks.append(env.spawn(sharing_source, shares[i],
+                                   name=f"source{i + 1}" if sources > 1
+                                   else "source"))
+        for i in range(transforms):
+            tasks.append(env.spawn(
+                transform_vertex(channels[i], channels[i + 1],
+                                 lambda value: value + 100),
+                name=f"transform{i + 1}",
+            ))
+        for i in range(sinks):
+            tasks.append(env.spawn(
+                sink_vertex(channels[-1], received),
+                name=f"sink{i + 1}" if sinks > 1 else "sink",
+            ))
+
+        def auditor():
+            for task in tasks:
+                yield from join(task)
+            ordered = sources == 1 and sinks == 1
+            got = received if ordered else sorted(received)
+            want = ([value + 100 * transforms for value in payload]
+                    if ordered else expected)
+            check(got == want,
+                  f"sinks received {got!r}, expected {want!r}")
+
+        env.spawn(auditor, name="auditor")
+
+        for channel in channels:
+            env.add_monitor(invariant(
+                lambda ch=channel: len(ch.items) <= ch.capacity,
+                f"{channel.name} exceeded its capacity",
+            ))
+        env.set_state_fn(lambda: (
+            tuple(ch.state_signature() for ch in channels),
+            tuple(received),
+        ))
+
+    suffix = f", bug={bug}" if bug else ""
+    return VMProgram(
+        setup,
+        name=f"dryad-channels(items={items}, transforms={transforms}{suffix})",
+    )
+
+
+def dryad_fifo(width: int = 4, items: int = 1, *,
+               capacity: int = 1, bug: Optional[int] = None) -> VMProgram:
+    """Many parallel source→sink lanes ("Dryad Fifo", the 25-thread row of
+    Table 1 when instantiated wide)."""
+
+    def setup(env):
+        lanes = []
+        for lane in range(width):
+            channel = FifoChannel(capacity=capacity,
+                                  name=f"lane{lane}", bug=bug)
+            received: List[Any] = []
+            payload = [(lane, i) for i in range(items)]
+            src = env.spawn(source_vertex(channel, payload),
+                            name=f"src{lane}")
+            snk = env.spawn(sink_vertex(channel, received),
+                            name=f"snk{lane}")
+            lanes.append((payload, received, src, snk))
+
+        def auditor():
+            for payload, received, src, snk in lanes:
+                yield from join(src)
+                yield from join(snk)
+                check(received == payload,
+                      f"lane mismatch: {received!r} != {payload!r}")
+
+        env.spawn(auditor, name="auditor")
+
+    return VMProgram(
+        setup, name=f"dryad-fifo(width={width}, items={items})",
+    )

@@ -1,0 +1,172 @@
+"""Treiber lock-free stack — the classic ABA victim.
+
+Section 4.1 of the paper motivates fair checking for "low-level
+synchronization libraries that typically employ nonblocking algorithms";
+the Treiber stack with a node free-list is the canonical member of that
+family, and its ABA failure needs exactly the kind of adversarial
+interleaving a model checker provides:
+
+1. thread 1 begins a pop: reads ``head = A`` and ``A.next = B``, then is
+   preempted;
+2. thread 2 pops ``A``, pops ``B``, and pushes ``A`` back (the free-list
+   recycles the node object);
+3. thread 1's CAS ``head: A → B`` *succeeds* — the head is ``A`` again —
+   resurrecting the long-gone ``B``.
+
+With ``reuse_nodes=False`` every push allocates a fresh node, CAS
+comparisons are on distinct identities, and the stack is linearizable;
+the checker passes.  With ``reuse_nodes=True`` the harness's audit
+catches the corruption.
+
+The retry loops (CAS failure → retry) make the stack nonterminating
+under an unfair scheduler, so this workload also needs fairness just to
+*terminate* — each failed CAS retry is preceded by a yield, following
+the good-samaritan discipline of real nonblocking code (PAUSE/backoff).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.engine.monitors import invariant
+from repro.runtime.api import check, join, pause, yield_now
+from repro.runtime.program import VMProgram
+from repro.sync.atomics import AtomicCell
+
+
+class _Node:
+    __slots__ = ("value", "next")
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+        self.next: Optional["_Node"] = None
+
+    def __repr__(self) -> str:
+        return f"<node {self.value!r}>"
+
+
+class TreiberStack:
+    """A lock-free LIFO stack over a CAS'd head pointer."""
+
+    def __init__(self, *, reuse_nodes: bool = False,
+                 name: str = "treiber") -> None:
+        self.name = name
+        self.reuse_nodes = reuse_nodes
+        self.head = AtomicCell(None, name=f"{name}.head")
+        self._free: List[_Node] = []
+
+    # ------------------------------------------------------------------
+    def _allocate(self, value: Any) -> _Node:
+        if self.reuse_nodes and self._free:
+            # FIFO recycling: the node that has been "free" longest is
+            # reused first — the allocator behavior that makes ABA windows
+            # realistic (the address a stalled pop still holds comes back).
+            node = self._free.pop(0)
+            node.value = value
+            return node
+        return _Node(value)
+
+    def push(self, value: Any):
+        node = self._allocate(value)
+        while True:
+            old_head = yield from self.head.load()
+            node.next = old_head  # node is still private: plain write
+            swapped = yield from self.head.compare_and_swap(old_head, node)
+            if swapped:
+                return
+            yield from yield_now()  # backoff before the retry
+
+    def pop(self):
+        """``(ok, value)``; the ABA window is between the two loads and
+        the CAS."""
+        while True:
+            old_head = yield from self.head.load()
+            if old_head is None:
+                return (False, None)
+            # Reading old_head.next is a separate shared access: the node
+            # can be recycled underneath us before the CAS.
+            yield from pause("read-next")
+            next_node = old_head.next
+            swapped = yield from self.head.compare_and_swap(old_head,
+                                                            next_node)
+            if swapped:
+                value = old_head.value
+                if self.reuse_nodes:
+                    self._free.append(old_head)  # recycle: enables ABA
+                return (True, value)
+            yield from yield_now()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> tuple:
+        """Current stack contents, top first (non-scheduling)."""
+        items = []
+        node = self.head.peek()
+        seen = set()
+        while node is not None and id(node) not in seen:
+            seen.add(id(node))
+            items.append(node.value)
+            node = node.next
+        return tuple(items)
+
+    def state_signature(self) -> Any:
+        return (self.name, self.snapshot())
+
+
+def treiber_stack_program(
+    items: int = 2,
+    poppers: int = 2,
+    *,
+    reuse_nodes: bool = False,
+) -> VMProgram:
+    """Harness: one pusher feeds the stack, ``poppers`` threads drain it.
+
+    Safety: every pushed value is popped exactly once and the stack ends
+    empty.  With ``reuse_nodes=True`` the ABA corruption shows up as a
+    duplicate pop or a value popped that was never (still) in the stack.
+    """
+    expected = [("v", i) for i in range(items)]
+
+    def setup(env):
+        stack = TreiberStack(reuse_nodes=reuse_nodes)
+        popped: List[Any] = []
+        remaining = [items]
+
+        def pusher():
+            for value in expected:
+                yield from stack.push(value)
+
+        def popper():
+            while remaining[0] > 0:
+                ok, value = yield from stack.pop()
+                if ok:
+                    popped.append(value)
+                    remaining[0] -= 1
+                else:
+                    yield from yield_now()
+
+        def auditor(tasks):
+            for task in tasks:
+                yield from join(task)
+            check(sorted(popped) == sorted(expected),
+                  f"popped {sorted(popped)!r} != pushed {sorted(expected)!r}")
+            check(stack.snapshot() == (),
+                  f"stack not empty at the end: {stack.snapshot()!r}")
+
+        tasks = [env.spawn(pusher, name="pusher")]
+        tasks += [env.spawn(popper, name=f"popper{i + 1}")
+                  for i in range(poppers)]
+        env.spawn(auditor, tasks, name="auditor")
+
+        env.add_monitor(invariant(
+            lambda: len(popped) == len(set(popped)),
+            "a value was popped twice",
+        ))
+        env.set_state_fn(lambda: (
+            stack.snapshot(), tuple(sorted(popped)), remaining[0],
+        ))
+
+    label = ", reuse-nodes" if reuse_nodes else ""
+    return VMProgram(
+        setup,
+        name=f"treiber(items={items}, poppers={poppers}{label})",
+    )

@@ -1,0 +1,135 @@
+"""Promise: a small data-parallelism library with Figure 8's livelock.
+
+The paper tested "promises, a concurrency primitive for specifying data
+parallelism ... optimized for efficiency [using] low-level hardware
+primitives".  We reproduce the essential structure: a :class:`Promise` is
+completed once by a producer and read by consumers; the optimized read
+path checks a couple of fast cases and only then falls back to a spin
+loop.
+
+Figure 8's bug, verbatim in spirit::
+
+    int x_temp = InterlockedRead(x);
+    if (common case 1) break;
+    ...
+    while (x_temp != 1) {
+        Sleep(1);          // yield
+        // BUG: should read x once again
+    }
+
+The spin loop waits on a *stale local copy* of the shared flag; since the
+loop yields (Sleep), the spinning thread satisfies the good-samaritan
+property, so the divergence is a **fair** infinite execution — a livelock,
+found only because the fair scheduler distinguishes fair from unfair
+divergence.  The bug "only occurred in those rare thread interleavings in
+which the common cases ... were inapplicable": here, only when the
+consumer's fast-path read happens before the producer completes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.runtime.api import check, sleep, spawn
+from repro.runtime.program import VMProgram
+from repro.sync.atomics import AtomicCell
+
+
+class Promise:
+    """A write-once cell with completion flag, as in data-parallel runtimes."""
+
+    _counter = 0
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        if name is None:
+            Promise._counter += 1
+            name = f"promise{Promise._counter}"
+        self.name = name
+        self._done = AtomicCell(0, name=f"{name}.done")
+        self._value = AtomicCell(None, name=f"{name}.value")
+
+    # ------------------------------------------------------------------
+    def complete(self, value: Any):
+        """Fulfil the promise (producer side).  Completing twice is a
+        safety violation, like re-setting a Win32 one-shot."""
+        already = yield from self._done.load()
+        check(not already, f"{self.name} completed twice")
+        yield from self._value.store(value)
+        yield from self._done.store(1)
+
+    def get(self):
+        """Correct consumer read: re-reads the flag each iteration."""
+        while True:
+            done = yield from self._done.load()
+            if done:
+                break
+            yield from sleep(1)
+        value = yield from self._value.load()
+        return value
+
+    def get_stale_spin(self):
+        """Figure 8's buggy read: spins on a local copy of the flag."""
+        done_temp = yield from self._done.load()  # InterlockedRead(x)
+        if done_temp:  # common case: already completed
+            value = yield from self._value.load()
+            return value
+        # Uncommon case: spin until completion...
+        while not done_temp:
+            yield from sleep(1)  # yield
+            # BUG: should read self._done once again
+        value = yield from self._value.load()
+        return value
+
+    # ------------------------------------------------------------------
+    def is_done(self) -> bool:
+        return bool(self._done.peek())
+
+    def state_signature(self) -> Any:
+        return (self.name, self._done.peek(), self._value.peek())
+
+
+def parallel_map(func: Callable[[Any], Any], inputs: Sequence[Any],
+                 *, stale_read_bug: bool = False):
+    """Library entry point: evaluate ``func`` over ``inputs`` in parallel.
+
+    Spawns one producer per input and returns the list of results (the
+    caller's thread acts as the consumer joining on each promise).  This
+    is itself a generator operation — call with ``yield from`` inside a
+    thread body.
+    """
+    promises: List[Promise] = [Promise() for _ in inputs]
+
+    def producer(promise: Promise, value: Any):
+        yield from promise.complete(func(value))
+
+    for promise, value in zip(promises, inputs):
+        yield from spawn(producer, promise, value,
+                         name=f"prod-{promise.name}")
+    results = []
+    for promise in promises:
+        if stale_read_bug:
+            result = yield from promise.get_stale_spin()
+        else:
+            result = yield from promise.get()
+        results.append(result)
+    return results
+
+
+def promise_program(n: int = 2, *, stale_read_bug: bool = False) -> VMProgram:
+    """Harness: a consumer maps ``x + 10`` over ``range(n)`` in parallel
+    and checks the results.  With ``stale_read_bug`` the checker finds the
+    Figure 8 livelock; without it, the program is fair-terminating."""
+
+    def setup(env):
+        def consumer():
+            results = yield from parallel_map(
+                lambda value: value + 10, range(n),
+                stale_read_bug=stale_read_bug,
+            )
+            check(results == [value + 10 for value in range(n)],
+                  f"wrong parallel_map results: {results!r}")
+
+        env.spawn(consumer, name="consumer")
+
+    suffix = ", stale-read-bug" if stale_read_bug else ""
+    return VMProgram(setup, name=f"promise(n={n}{suffix})")

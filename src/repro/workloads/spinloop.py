@@ -1,0 +1,110 @@
+"""Figure 3: the two-thread spin-loop program.
+
+::
+
+    Init x := 0;
+
+    Thread t            Thread u
+    a: x := 1;          c: while (x != 1)
+    b: end;             d:     yield();
+                        e: end;
+
+The state space (right of Figure 3) has a cycle between ``(a,c)`` and
+``(a,d)`` caused by ``u``'s spin loop; the program is *fair-terminating*:
+its only infinite execution starves ``t``, which is unfair.
+
+Variants:
+
+* :func:`spinloop` — the paper's program (good samaritan: the loop yields).
+* :func:`spinloop_no_yield` — drops the ``yield()``; the fair checker
+  diverges with a good-samaritan violation (the loop spins idly).
+* :func:`spinloop_with_event` — the "manual modification" the paper
+  describes in Section 4.1: ``u`` blocks on an event that ``t`` signals
+  after the store.  Terminating even without fairness; kept so the cost
+  and the non-local nature of that rewrite are visible in one place.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.api import yield_now
+from repro.runtime.program import VMProgram
+from repro.sync.atomics import SharedVar
+from repro.sync.event import Event
+
+
+def spinloop() -> VMProgram:
+    """The program of Figure 3, exactly."""
+
+    def setup(env):
+        x = SharedVar(0, name="x")
+        pcs = {"t": "a", "u": "c"}
+
+        def t():
+            yield from x.set(1)  # a: x := 1
+            pcs["t"] = "b"  # b: end
+
+        def u():
+            while True:
+                value = yield from x.get()  # c: while (x != 1)
+                if value == 1:
+                    break
+                pcs["u"] = "d"
+                yield from yield_now()  # d: yield()
+                pcs["u"] = "c"
+            pcs["u"] = "e"  # e: end
+
+        env.spawn(t, name="t")
+        env.spawn(u, name="u")
+        env.set_state_fn(lambda: (pcs["t"], pcs["u"], x.peek()))
+
+    return VMProgram(setup, name="spinloop")
+
+
+def spinloop_no_yield() -> VMProgram:
+    """Figure 3 without the yield: violates the good-samaritan property."""
+
+    def setup(env):
+        x = SharedVar(0, name="x")
+
+        def t():
+            yield from x.set(1)
+
+        def u():
+            while True:
+                value = yield from x.get()  # spins without yielding
+                if value == 1:
+                    break
+
+        env.spawn(t, name="t")
+        env.spawn(u, name="u")
+
+    return VMProgram(setup, name="spinloop-no-yield")
+
+
+def spinloop_with_event() -> VMProgram:
+    """The manually modified, terminating version (Section 4.1).
+
+    The spin loop becomes a blocking wait on a synchronization variable,
+    and *every* writer of ``x`` must additionally signal it — the
+    non-local, error-prone change fair scheduling makes unnecessary.
+    """
+
+    def setup(env):
+        x = SharedVar(0, name="x")
+        x_updated = Event(name="x-updated")
+
+        def t():
+            yield from x.set(1)
+            yield from x_updated.set()  # the required non-local signal
+
+        def u():
+            while True:
+                value = yield from x.get()
+                if value == 1:
+                    break
+                yield from x_updated.wait()
+
+        env.spawn(t, name="t")
+        env.spawn(u, name="u")
+
+    return VMProgram(setup, name="spinloop-event")

@@ -1,0 +1,170 @@
+"""Worker pool with Figure 7's good-samaritan violation.
+
+The library under test maintains worker threads partitioned into worker
+groups; both :class:`Worker` and :class:`WorkerGroup` carry a ``stop``
+flag, and shutdown sets the group's flag before the workers' flags.  In
+that window a worker whose task queue is empty spins through its outer
+loop **without yielding** — ``Idle`` returns immediately because the
+group is stopping, and the ``Run`` loop retries because the worker's own
+flag is still false (Figure 7, reproduced below)::
+
+    void Worker::Run() {
+        while (!stop) {
+            while (!stop && task != null) { ...; task = PopNextTask(); }
+            if (!stop) task = group.Idle(this);
+        }
+    }
+
+    Task WorkerGroup::Idle(Worker w) {
+        while (!stop) { ... w.YieldExponential(); ... }
+        return null;     // <- returns without yielding once stop is set
+    }
+
+Under the fair scheduler this is exactly outcome 2 of Section 2: the
+divergent execution's suffix schedules the worker forever with zero
+yields, and the checker reports a **good-samaritan violation** — a
+performance bug (the worker burns its time slice and starves the thread
+that would set its stop flag).
+
+``fixed=True`` applies the obvious repair (yield on the idle retry path),
+after which the pool is fair-terminating and the checker passes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from repro.runtime.api import check, join, sleep
+from repro.runtime.program import VMProgram
+from repro.sync.atomics import SharedVar
+from repro.sync.mutex import Mutex
+
+
+class WorkerGroup:
+    """A group of workers sharing a task queue."""
+
+    def __init__(self, name: str = "group") -> None:
+        self.name = name
+        self.stop = SharedVar(False, name=f"{name}.stop")
+        self._queue_lock = Mutex(name=f"{name}.qlock")
+        self._queue: Deque[Callable[[], Any]] = deque()
+        self.workers: List["Worker"] = []
+        self.completed: List[Any] = []
+
+    # ------------------------------------------------------------------
+    def submit(self, task: Callable[[], Any]):
+        """Enqueue one task (any thread)."""
+        yield from self._queue_lock.acquire()
+        self._queue.append(task)
+        yield from self._queue_lock.release()
+
+    def pop_next_task(self):
+        yield from self._queue_lock.acquire()
+        task = self._queue.popleft() if self._queue else None
+        yield from self._queue_lock.release()
+        return task
+
+    def idle(self, worker: "Worker", *, yield_on_stop: bool):
+        """Figure 7's ``WorkerGroup::Idle``: wait for work to show up.
+
+        With ``yield_on_stop`` false (the buggy library), the stop path
+        returns without yielding.
+        """
+        while True:
+            stopping = yield from self.stop.get()
+            if stopping:
+                break
+            task = yield from self.pop_next_task()
+            if task is not None:
+                return task
+            # No work to be found; yield to other threads.
+            yield from sleep(1)  # YieldExponential
+        if yield_on_stop:
+            yield from sleep(1)  # the fix: be a good samaritan on shutdown
+        return None
+
+    def state_signature(self) -> Any:
+        return (
+            self.name,
+            self.stop.peek(),
+            len(self._queue),
+            tuple(sorted(map(repr, self.completed))),
+        )
+
+
+class Worker:
+    """One pool thread (Figure 7's ``Worker::Run``)."""
+
+    def __init__(self, group: WorkerGroup, index: int,
+                 *, fixed: bool) -> None:
+        self.group = group
+        self.name = f"worker{index}"
+        self.stop = SharedVar(False, name=f"{self.name}.stop")
+        self._fixed = fixed
+        group.workers.append(self)
+
+    def run(self):
+        task: Optional[Callable[[], Any]] = None
+        while True:
+            stopping = yield from self.stop.get()
+            if stopping:
+                break
+            # Inner loop: perform available tasks.
+            while task is not None:
+                self.group.completed.append(task())
+                stopping = yield from self.stop.get()
+                if stopping:
+                    return
+                task = yield from self.group.pop_next_task()
+            stopping = yield from self.stop.get()
+            if not stopping:
+                task = yield from self.group.idle(
+                    self, yield_on_stop=self._fixed,
+                )
+
+
+def worker_pool(tasks: int = 1, workers: int = 1, *,
+                fixed: bool = False) -> VMProgram:
+    """Harness: submit ``tasks`` trivial tasks, then shut the pool down.
+
+    Shutdown mirrors the library under test: the group's stop flag is set
+    first, each worker's flag afterwards — creating the window in which
+    the buggy idle path spins without yielding.
+    """
+
+    def setup(env):
+        group = WorkerGroup()
+        pool = [Worker(group, i, fixed=fixed) for i in range(workers)]
+
+        def worker_thread(worker: Worker):
+            yield from worker.run()
+
+        def controller(worker_tasks):
+            for i in range(tasks):
+                yield from group.submit(lambda i=i: ("done", i))
+            # Shutdown: group first, then each worker — the racy window.
+            yield from group.stop.set(True)
+            for worker in pool:
+                yield from worker.stop.set(True)
+            for task in worker_tasks:
+                yield from join(task)
+            check(
+                len(group.completed) <= tasks,
+                f"{len(group.completed)} completions for {tasks} tasks",
+            )
+
+        worker_tasks = [
+            env.spawn(worker_thread, worker, name=worker.name)
+            for worker in pool
+        ]
+        env.spawn(controller, worker_tasks, name="controller")
+        env.set_state_fn(lambda: (
+            group.state_signature(),
+            tuple(w.stop.peek() for w in pool),
+        ))
+
+    label = "fixed" if fixed else "buggy"
+    return VMProgram(
+        setup, name=f"worker-pool(tasks={tasks}, workers={workers}, {label})",
+    )

@@ -1,0 +1,222 @@
+"""Work-stealing queue (Cilk THE protocol, references [7]/[20]).
+
+A faithful port of the Microsoft ``WorkStealQueue`` (Leijen's C# futures
+library, the exact code CHESS tested) to the instrumented atomics:
+
+* the owner pushes and pops at the *tail* without taking the lock on the
+  fast path;
+* thieves steal from the *head* under a lock acquired with ``TryEnter``
+  (a zero-timeout, hence yielding, operation);
+* the owner's pop publishes the decremented tail *before* re-reading the
+  head, and falls back to a locked ``SyncPop`` on potential conflict.
+
+Seeded bugs (the ``bug`` parameter), modeled on the WSQ bugs of Table 3 —
+each is a one-line corruption of the synchronization protocol:
+
+* ``bug=1`` — missing publication barrier: ``Pop`` reads ``head`` before
+  storing the decremented ``tail``; a concurrent steal of the last item
+  goes unnoticed and the item is consumed twice.
+* ``bug=2`` — wrong emptiness test in ``Steal`` (``h <= tail`` instead of
+  ``h < tail``): a thief can steal from an empty queue, returning a stale
+  array slot (an item consumed twice).
+* ``bug=3`` — ``SyncPop`` forgets to restore ``tail`` after finding the
+  queue empty; the corrupted tail makes a later ``Push`` overwrite or
+  re-expose slots.
+
+The test harness (:func:`work_stealing_queue`) runs one owner and ``s``
+stealers; stealers spin (yielding) until the owner raises a done flag, so
+the *unmodified* program is nonterminating — exactly the situation that
+required manual modification before fair scheduling existed (Section 4.1).
+Safety: every pushed item is consumed exactly once, checked continuously
+by a monitor (duplicates) and finally by an auditor thread (losses).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.engine.monitors import invariant
+from repro.runtime.api import check, join, yield_now
+from repro.runtime.program import VMProgram
+from repro.sync.atomics import AtomicCell, SharedVar
+from repro.sync.mutex import Mutex
+
+
+class WorkStealingQueue:
+    """The THE-protocol deque over instrumented atomics.
+
+    All methods are generator operations (``yield from``).  ``pop`` and
+    ``steal`` return ``(ok, item)`` pairs.
+    """
+
+    def __init__(self, capacity: int = 8, bug: Optional[int] = None,
+                 name: str = "wsq") -> None:
+        self.name = name
+        self.capacity = capacity
+        self.bug = bug
+        self.head = AtomicCell(0, name=f"{name}.head")
+        self.tail = AtomicCell(0, name=f"{name}.tail")
+        self.slots = [
+            AtomicCell(None, name=f"{name}.slot{i}") for i in range(capacity)
+        ]
+        self.lock = Mutex(name=f"{name}.lock")
+
+    # ------------------------------------------------------------------
+    def push(self, item: Any):
+        """Owner-only: append at the tail (no lock on the fast path)."""
+        t = yield from self.tail.load()
+        h = yield from self.head.load()
+        # Reading head racily is conservative: concurrent steals only
+        # *increase* head, so the queue can only be emptier than we think.
+        check(t - h < self.capacity, "work-stealing queue overflow")
+        yield from self.slots[t % self.capacity].store(item)
+        yield from self.tail.store(t + 1)
+
+    def pop(self):
+        """Owner-only: take from the tail; lock only on conflict."""
+        t = (yield from self.tail.load()) - 1
+        if self.bug == 1:
+            # BUG 1: read head before publishing the decremented tail.  A
+            # steal serialized between the two reads takes the same item.
+            h = yield from self.head.load()
+            yield from self.tail.store(t)
+        else:
+            yield from self.tail.store(t)
+            h = yield from self.head.load()
+        if h < t or (self.bug == 1 and h <= t):
+            item = yield from self.slots[t % self.capacity].load()
+            return (True, item)
+        # 0 or 1 items left: potential conflict with a thief.
+        yield from self.tail.store(t + 1)
+        result = yield from self._sync_pop()
+        return result
+
+    def _sync_pop(self):
+        yield from self.lock.acquire()
+        t = (yield from self.tail.load()) - 1
+        yield from self.tail.store(t)
+        h = yield from self.head.load()
+        if h <= t:
+            item = yield from self.slots[t % self.capacity].load()
+            yield from self.lock.release()
+            return (True, item)
+        if self.bug != 3:
+            yield from self.tail.store(t + 1)
+        # BUG 3: the restore above is skipped; tail drifts below head and a
+        # later push lands on a stale index.
+        yield from self.lock.release()
+        return (False, None)
+
+    def steal(self):
+        """Thief: take from the head under the lock (TryEnter semantics —
+        a failed lock attempt yields, per CHESS's yield inference)."""
+        got_lock = yield from self.lock.try_acquire()
+        if not got_lock:
+            return (False, None)
+        h = yield from self.head.load()
+        t = yield from self.tail.load()
+        if h < t or (self.bug == 2 and h <= t):
+            # BUG 2: h <= t steals from an empty queue (stale slot).
+            item = yield from self.slots[h % self.capacity].load()
+            yield from self.head.store(h + 1)
+            yield from self.lock.release()
+            return (True, item)
+        yield from self.lock.release()
+        return (False, None)
+
+    # ------------------------------------------------------------------
+    def state_signature(self) -> Any:
+        return (
+            self.head.peek(),
+            self.tail.peek(),
+            tuple(slot.peek() for slot in self.slots),
+            self.lock.owner_name(),
+        )
+
+
+def work_stealing_queue(
+    items: int = 3,
+    stealers: int = 1,
+    bug: Optional[int] = None,
+    *,
+    interleaved: bool = False,
+    capacity: Optional[int] = None,
+) -> VMProgram:
+    """The CHESS test harness around :class:`WorkStealingQueue`.
+
+    ``interleaved`` makes the owner mix pushes and pops (needed to expose
+    ``bug=3``, which corrupts state only after an empty pop).
+    """
+    if capacity is None:
+        capacity = max(4, items + 1)
+    expected = [("item", i) for i in range(items)]
+
+    def setup(env):
+        queue = WorkStealingQueue(capacity=capacity, bug=bug)
+        done = SharedVar(False, name="done")
+        consumed: List[Tuple[str, int]] = []
+
+        def owner():
+            def pop_one():
+                ok, item = yield from queue.pop()
+                if ok:
+                    consumed.append(item)
+                return ok
+
+            if interleaved:
+                # push 0; pop; push 1; pop; ... then drain.
+                for i in range(items):
+                    yield from queue.push(expected[i])
+                    yield from pop_one()
+            else:
+                for i in range(items):
+                    yield from queue.push(expected[i])
+            while True:
+                ok = yield from pop_one()
+                if not ok:
+                    break
+            yield from done.set(True)
+
+        def stealer():
+            while True:
+                finished = yield from done.get()
+                if finished:
+                    break
+                ok, item = yield from queue.steal()
+                if ok:
+                    consumed.append(item)
+                else:
+                    yield from yield_now()
+
+        def auditor(owner_task, stealer_tasks):
+            yield from join(owner_task)
+            for task in stealer_tasks:
+                yield from join(task)
+            check(
+                sorted(consumed) == sorted(expected),
+                f"items consumed {sorted(consumed)!r} != pushed "
+                f"{sorted(expected)!r}",
+            )
+
+        owner_task = env.spawn(owner, name="owner")
+        stealer_tasks = [
+            env.spawn(stealer, name=f"stealer{i + 1}") for i in range(stealers)
+        ]
+        env.spawn(auditor, owner_task, stealer_tasks, name="auditor")
+
+        env.add_monitor(invariant(
+            lambda: len(consumed) == len(set(consumed)),
+            "an item was consumed twice",
+        ))
+        env.set_state_fn(lambda: (
+            queue.state_signature(),
+            done.peek(),
+            tuple(sorted(consumed)),
+        ))
+
+    suffix = f", bug={bug}" if bug else ""
+    mode = ", interleaved" if interleaved else ""
+    return VMProgram(
+        setup,
+        name=f"wsq(items={items}, stealers={stealers}{suffix}{mode})",
+    )

@@ -1,0 +1,177 @@
+"""Unit tests for the Algorithm 1 state machine."""
+
+import pytest
+
+from repro.core.fairness import FairSchedulerState
+from repro.core.model import StepInfo
+
+
+def step(tid, before, after, yielded=False, spawned=()):
+    return StepInfo(
+        tid=tid,
+        enabled_before=frozenset(before),
+        enabled_after=frozenset(after),
+        yielded=yielded,
+        spawned=tuple(spawned),
+    )
+
+
+class TestInitialization:
+    def test_initial_windows_closed(self):
+        state = FairSchedulerState(["t", "u"])
+        assert not state.window_open("t")
+        # Closed window encodes E = {} and D = S = Tid.
+        assert state.continuously_enabled("t") == frozenset()
+        assert state.disabled_by("t") == frozenset({"t", "u"})
+        assert state.scheduled_since_yield("t") == frozenset({"t", "u"})
+
+    def test_initially_all_schedulable(self):
+        state = FairSchedulerState(["t", "u"])
+        assert state.schedulable(frozenset({"t", "u"})) == frozenset({"t", "u"})
+
+    def test_register_twice_is_idempotent(self):
+        state = FairSchedulerState(["t"])
+        state.observe_step(step("t", {"t"}, {"t"}, yielded=True))
+        assert state.window_open("t")
+        state.register_thread("t")
+        assert state.window_open("t")  # re-registration must not reset
+
+
+class TestFirstYield:
+    def test_first_yield_adds_no_edges(self):
+        # The paper's initialization guarantees the update of P at the
+        # first yield of any thread leaves P unchanged.
+        state = FairSchedulerState(["t", "u"])
+        state.observe_step(step("u", {"t", "u"}, {"t", "u"}, yielded=True))
+        assert not state.priority
+        assert state.window_open("u")
+
+    def test_first_yield_opens_window(self):
+        state = FairSchedulerState(["t", "u"])
+        state.observe_step(step("u", {"t", "u"}, {"t", "u"}, yielded=True))
+        assert state.continuously_enabled("u") == frozenset({"t", "u"})
+        assert state.disabled_by("u") == frozenset()
+        assert state.scheduled_since_yield("u") == frozenset()
+
+
+class TestWindowTracking:
+    def make_open_window(self):
+        state = FairSchedulerState(["t", "u"])
+        state.observe_step(step("u", {"t", "u"}, {"t", "u"}, yielded=True))
+        return state
+
+    def test_scheduled_set_accumulates(self):
+        state = self.make_open_window()
+        state.observe_step(step("u", {"t", "u"}, {"t", "u"}))
+        assert state.scheduled_since_yield("u") == frozenset({"u"})
+        state.observe_step(step("t", {"t", "u"}, {"t", "u"}))
+        assert state.scheduled_since_yield("u") == frozenset({"t", "u"})
+
+    def test_continuously_enabled_shrinks(self):
+        state = self.make_open_window()
+        # t becomes disabled by u's transition: drops out of E(u) forever
+        # within this window, even if re-enabled later.
+        state.observe_step(step("u", {"t", "u"}, {"u"}))
+        assert state.continuously_enabled("u") == frozenset({"u"})
+        state.observe_step(step("u", {"u"}, {"t", "u"}))
+        assert state.continuously_enabled("u") == frozenset({"u"})
+
+    def test_disabled_by_tracks_own_transitions_only(self):
+        state = FairSchedulerState(["t", "u", "v"])
+        for tid in ("u", "v"):
+            state.observe_step(
+                step(tid, {"t", "u", "v"}, {"t", "u", "v"}, yielded=True)
+            )
+        # u's transition disables t: recorded in D(u) only.
+        state.observe_step(step("u", {"t", "u", "v"}, {"u", "v"}))
+        assert state.disabled_by("u") == frozenset({"t"})
+        assert state.disabled_by("v") == frozenset()
+
+
+class TestEdgeInsertion:
+    def test_second_yield_blames_unscheduled_enabled_thread(self):
+        state = FairSchedulerState(["t", "u"])
+        # First yield of u opens the window.
+        state.observe_step(step("u", {"t", "u"}, {"t", "u"}, yielded=True))
+        # u runs again (t continuously enabled, never scheduled)...
+        state.observe_step(step("u", {"t", "u"}, {"t", "u"}))
+        # ... and yields: H = (E ∪ D) \ S = {t,u} \ {u} = {t}.
+        state.observe_step(step("u", {"t", "u"}, {"t", "u"}, yielded=True))
+        assert ("u", "t") in state.priority
+        assert state.schedulable(frozenset({"t", "u"})) == frozenset({"t"})
+
+    def test_blames_thread_it_disabled(self):
+        state = FairSchedulerState(["t", "u"])
+        state.observe_step(step("u", {"t", "u"}, {"t", "u"}, yielded=True))
+        # u disables t (e.g. takes a lock t was about to get)...
+        state.observe_step(step("u", {"t", "u"}, {"u"}))
+        # ... then yields; t is in D(u) though no longer enabled.
+        state.observe_step(step("u", {"u"}, {"u"}, yielded=True))
+        assert ("u", "t") in state.priority
+        # The edge only bites when t is enabled again:
+        assert state.schedulable(frozenset({"u"})) == frozenset({"u"})
+        assert state.schedulable(frozenset({"t", "u"})) == frozenset({"t"})
+
+    def test_no_edge_for_scheduled_thread(self):
+        state = FairSchedulerState(["t", "u"])
+        state.observe_step(step("u", {"t", "u"}, {"t", "u"}, yielded=True))
+        state.observe_step(step("t", {"t", "u"}, {"t", "u"}))
+        state.observe_step(step("u", {"t", "u"}, {"t", "u"}, yielded=True))
+        # t was scheduled inside u's window: no blame.
+        assert not state.priority
+
+    def test_scheduling_removes_incoming_edges(self):
+        state = FairSchedulerState(["t", "u"])
+        state.observe_step(step("u", {"t", "u"}, {"t", "u"}, yielded=True))
+        state.observe_step(step("u", {"t", "u"}, {"t", "u"}))
+        state.observe_step(step("u", {"t", "u"}, {"t", "u"}, yielded=True))
+        assert ("u", "t") in state.priority
+        # Scheduling t removes all edges with sink t (line 13).
+        state.observe_step(step("t", {"t", "u"}, {"t", "u"}))
+        assert ("u", "t") not in state.priority
+
+    def test_thread_never_blames_itself(self):
+        state = FairSchedulerState(["t"])
+        for _ in range(5):
+            state.observe_step(step("t", {"t"}, {"t"}, yielded=True))
+        assert not state.priority
+
+    def test_priority_stays_acyclic_with_checking(self):
+        state = FairSchedulerState(["a", "b", "c"], check_acyclic=True)
+        # Open all windows, then yield in rotation; no AssertionError means
+        # the Theorem 3 invariant held throughout.
+        everyone = {"a", "b", "c"}
+        for tid in ("a", "b", "c"):
+            state.observe_step(step(tid, everyone, everyone, yielded=True))
+        for tid in ("a", "b", "c", "a", "b", "c"):
+            state.observe_step(step(tid, everyone, everyone, yielded=True))
+        assert state.priority.is_acyclic()
+
+
+class TestDynamicThreads:
+    def test_spawned_thread_registered_with_closed_window(self):
+        state = FairSchedulerState(["t"])
+        state.observe_step(step("t", {"t"}, {"t", "u"}, spawned=("u",)))
+        assert "u" in state.known_threads()
+        assert not state.window_open("u")
+
+    def test_spawned_thread_first_yield_adds_no_edges(self):
+        state = FairSchedulerState(["t"])
+        state.observe_step(step("t", {"t"}, {"t", "u"}, spawned=("u",)))
+        state.observe_step(step("u", {"t", "u"}, {"t", "u"}, yielded=True))
+        assert not state.priority
+
+    def test_unknown_scheduler_thread_auto_registered(self):
+        state = FairSchedulerState()
+        state.observe_step(step("x", {"x"}, {"x"}))
+        assert "x" in state.known_threads()
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        state = FairSchedulerState(["t", "u"])
+        snap = state.snapshot()
+        assert set(snap) == {"P", "E", "D", "S"}
+        assert snap["P"] == []
+        assert snap["E"]["t"] == []
+        assert sorted(snap["D"]["t"]) == ["t", "u"]

@@ -1,0 +1,118 @@
+"""Unit tests for the priority relation ``P`` of Algorithm 1."""
+
+import pytest
+
+from repro.core.priority import PriorityRelation
+
+
+class TestEdges:
+    def test_empty_relation_blocks_nothing(self):
+        relation = PriorityRelation()
+        assert relation.schedulable(frozenset({1, 2})) == frozenset({1, 2})
+        assert not relation
+
+    def test_edge_blocks_source_while_sink_enabled(self):
+        relation = PriorityRelation([("t", "u")])
+        assert relation.schedulable(frozenset({"t", "u"})) == frozenset({"u"})
+
+    def test_edge_does_not_block_when_sink_disabled(self):
+        # (t, u) means: t runs only when u is disabled.
+        relation = PriorityRelation([("t", "u")])
+        assert relation.schedulable(frozenset({"t"})) == frozenset({"t"})
+
+    def test_self_edge_rejected(self):
+        relation = PriorityRelation()
+        with pytest.raises(ValueError):
+            relation.add_edge("t", "t")
+
+    def test_add_edges_skips_self(self):
+        relation = PriorityRelation()
+        relation.add_edges("t", {"t", "u", "v"})
+        assert ("t", "u") in relation
+        assert ("t", "v") in relation
+        assert ("t", "t") not in relation
+
+    def test_contains_and_edge_count(self):
+        relation = PriorityRelation([("a", "b"), ("a", "c"), ("b", "c")])
+        assert ("a", "b") in relation
+        assert ("b", "a") not in relation
+        assert relation.edge_count() == 3
+
+
+class TestRemoveSink:
+    def test_remove_sink_releases_blocked_threads(self):
+        relation = PriorityRelation([("t", "u"), ("v", "u")])
+        assert relation.schedulable(frozenset({"t", "u", "v"})) == frozenset({"u"})
+        relation.remove_sink("u")
+        assert relation.schedulable(frozenset({"t", "u", "v"})) == frozenset(
+            {"t", "u", "v"}
+        )
+
+    def test_remove_sink_keeps_other_edges(self):
+        relation = PriorityRelation([("t", "u"), ("t", "v")])
+        relation.remove_sink("u")
+        assert ("t", "v") in relation
+        assert ("t", "u") not in relation
+
+    def test_remove_sink_of_unknown_thread_is_noop(self):
+        relation = PriorityRelation([("t", "u")])
+        relation.remove_sink("zebra")
+        assert ("t", "u") in relation
+
+
+class TestBlocked:
+    def test_pre_definition(self):
+        # pre(R, X) = {x | exists y: (x, y) in R and y in X}
+        relation = PriorityRelation([("a", "b"), ("c", "d")])
+        assert relation.blocked(frozenset({"b"})) == {"a"}
+        assert relation.blocked(frozenset({"d"})) == {"c"}
+        assert relation.blocked(frozenset({"b", "d"})) == {"a", "c"}
+        assert relation.blocked(frozenset({"a", "c"})) == set()
+
+    def test_schedulable_never_empty_for_acyclic_relation(self):
+        # Theorem 3's engine: an acyclic priority relation always leaves a
+        # maximal (schedulable) element in any nonempty enabled set.
+        relation = PriorityRelation([("a", "b"), ("b", "c"), ("a", "c")])
+        for enabled in [{"a"}, {"a", "b"}, {"a", "b", "c"}, {"b", "c"}]:
+            assert relation.schedulable(frozenset(enabled))
+
+
+class TestAcyclicity:
+    def test_empty_is_acyclic(self):
+        assert PriorityRelation().is_acyclic()
+
+    def test_chain_is_acyclic(self):
+        assert PriorityRelation([("a", "b"), ("b", "c")]).is_acyclic()
+
+    def test_two_cycle_detected(self):
+        assert not PriorityRelation([("a", "b"), ("b", "a")]).is_acyclic()
+
+    def test_long_cycle_detected(self):
+        relation = PriorityRelation([("a", "b"), ("b", "c"), ("c", "a")])
+        assert not relation.is_acyclic()
+
+    def test_diamond_is_acyclic(self):
+        relation = PriorityRelation(
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        )
+        assert relation.is_acyclic()
+
+
+class TestCopyAndEquality:
+    def test_copy_is_independent(self):
+        relation = PriorityRelation([("a", "b")])
+        clone = relation.copy()
+        clone.add_edge("b", "c")
+        assert ("b", "c") not in relation
+        assert ("a", "b") in clone
+
+    def test_equality_by_edge_set(self):
+        left = PriorityRelation([("a", "b"), ("c", "d")])
+        right = PriorityRelation([("c", "d"), ("a", "b")])
+        assert left == right
+        right.add_edge("x", "y")
+        assert left != right
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(PriorityRelation())

@@ -1,0 +1,83 @@
+"""Aggregator / limits bookkeeping tests."""
+
+from repro.engine.results import (
+    DivergenceKind,
+    DivergenceReport,
+    ExecutionResult,
+    Outcome,
+)
+from repro.engine.strategies.base import Aggregator, ExplorationLimits
+
+
+def record(outcome, *, steps=3, hit_depth=False, kind=None):
+    divergence = None
+    if kind is not None:
+        divergence = DivergenceReport(kind=kind, culprits=(), window=1,
+                                      detail="d")
+    return ExecutionResult(outcome=outcome, decisions=[], steps=steps,
+                           hit_depth_bound=hit_depth,
+                           divergence=divergence)
+
+
+def make(limits=None):
+    return Aggregator("p", "fair", "dfs", limits or ExplorationLimits())
+
+
+class TestCounting:
+    def test_transitions_and_outcomes_accumulate(self):
+        agg = make(ExplorationLimits(stop_on_first_violation=False))
+        agg.add(record(Outcome.TERMINATED, steps=2))
+        agg.add(record(Outcome.TERMINATED, steps=5))
+        result = agg.finish(complete=True, stop_reason=None)
+        assert result.executions == 2
+        assert result.transitions == 7
+        assert result.outcomes[Outcome.TERMINATED] == 2
+        assert result.complete and not result.limit_hit
+
+    def test_nonterminating_counter(self):
+        agg = make(ExplorationLimits())
+        agg.add(record(Outcome.DEPTH_PRUNED, hit_depth=True))
+        assert agg.result.nonterminating_executions == 1
+
+    def test_first_violation_execution_index(self):
+        agg = make(ExplorationLimits(stop_on_first_violation=False))
+        agg.add(record(Outcome.TERMINATED))
+        agg.add(record(Outcome.VIOLATION))
+        agg.add(record(Outcome.VIOLATION))
+        assert agg.result.first_violation_execution == 2
+        assert len(agg.result.violations) == 2
+
+
+class TestStopReasons:
+    def test_violation_stops_by_default(self):
+        agg = make()
+        assert agg.add(record(Outcome.VIOLATION)) == "violation"
+
+    def test_deadlock_counts_as_violation_stop(self):
+        agg = make()
+        assert agg.add(record(Outcome.DEADLOCK)) == "violation"
+
+    def test_divergence_stop_configurable(self):
+        stopping = make(ExplorationLimits(stop_on_first_divergence=True))
+        assert stopping.add(record(Outcome.DIVERGENCE,
+                                   kind=DivergenceKind.LIVELOCK)) == \
+            "divergence"
+        keep_going = make(ExplorationLimits(stop_on_first_divergence=False))
+        assert keep_going.add(record(Outcome.DIVERGENCE,
+                                     kind=DivergenceKind.LIVELOCK)) is None
+
+    def test_max_executions(self):
+        agg = make(ExplorationLimits(max_executions=2,
+                                     stop_on_first_violation=False))
+        assert agg.add(record(Outcome.TERMINATED)) is None
+        assert agg.add(record(Outcome.TERMINATED)) == "max-executions"
+        result = agg.finish(complete=False, stop_reason="max-executions")
+        assert result.limit_hit
+
+    def test_keep_records_bounded(self):
+        agg = make(ExplorationLimits(stop_on_first_violation=False,
+                                     keep_records=2))
+        for _ in range(5):
+            agg.add(record(Outcome.VIOLATION))
+        assert len(agg.result.violations) == 2
+        assert agg.result.executions == 5

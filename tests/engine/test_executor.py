@@ -1,0 +1,273 @@
+"""Executor tests: decisions, replay, depth bounds, preemption accounting."""
+
+import pytest
+
+from repro.core.policies import FairPolicy, NonfairPolicy, fair_policy, nonfair_policy
+from repro.engine.executor import (
+    ExecutorConfig,
+    GuidedChooser,
+    RandomChooser,
+    run_execution,
+)
+from repro.engine.results import DivergenceKind, Outcome
+from repro.runtime.api import choose, pause, yield_now
+from repro.runtime.program import VMProgram
+from repro.sync.atomics import SharedVar
+
+import random
+
+
+def two_step_program():
+    """Two threads, two pauses each: 4!/(2!2!) = 6 interleavings."""
+
+    def setup(env):
+        def body():
+            yield from pause()
+
+        env.spawn(body, name="a")
+        env.spawn(body, name="b")
+
+    return VMProgram(setup, name="two-step")
+
+
+def spin_program():
+    def setup(env):
+        x = SharedVar(0, name="x")
+
+        def t():
+            yield from x.set(1)
+
+        def u():
+            while (yield from x.get()) != 1:
+                yield from yield_now()
+
+        env.spawn(t, name="t")
+        env.spawn(u, name="u")
+
+    return VMProgram(setup, name="spin")
+
+
+class TestDecisions:
+    def test_decisions_recorded_with_options(self):
+        record = run_execution(
+            two_step_program(), NonfairPolicy(), GuidedChooser([]),
+            ExecutorConfig(),
+        )
+        assert record.outcome is Outcome.TERMINATED
+        assert record.steps == 4
+        assert len(record.decisions) == 4
+        assert record.decisions[0].options == 2  # both threads enabled
+        assert record.decisions[0].kind == "thread"
+
+    def test_replay_is_deterministic(self):
+        program = spin_program()
+        first = run_execution(program, FairPolicy(), GuidedChooser([1, 1, 0]),
+                              ExecutorConfig(depth_bound=100))
+        second = run_execution(program, FairPolicy(),
+                               GuidedChooser(first.schedule),
+                               ExecutorConfig(depth_bound=100))
+        assert first.outcome == second.outcome
+        assert first.schedule == second.schedule
+        assert [s.operation for s in first.trace] == \
+            [s.operation for s in second.trace]
+
+    def test_replay_divergence_detected(self):
+        program = two_step_program()
+        with pytest.raises(ValueError):
+            run_execution(program, NonfairPolicy(), GuidedChooser([7]),
+                          ExecutorConfig())
+
+    def test_data_choices_share_the_decision_stream(self):
+        def setup(env):
+            def body():
+                value = yield from choose(3)
+                if value == 2:
+                    yield from pause()
+
+            env.spawn(body, name="c")
+
+        program = VMProgram(setup, name="choices")
+        # Decisions: start (thread), choose-op (thread), data=2, pause.
+        record = run_execution(program, NonfairPolicy(),
+                               GuidedChooser([0, 0, 2]), ExecutorConfig())
+        kinds = [d.kind for d in record.decisions]
+        assert "data" in kinds
+        data = next(d for d in record.decisions if d.kind == "data")
+        assert data.options == 3
+        assert data.chosen == 2
+
+
+class TestDepthBound:
+    def test_prune_mode(self):
+        record = run_execution(
+            spin_program(), NonfairPolicy(),
+            GuidedChooser([1] * 50),  # keep scheduling u (spin forever)
+            ExecutorConfig(depth_bound=10, on_depth_exceeded="prune"),
+        )
+        assert record.outcome is Outcome.DEPTH_PRUNED
+        assert record.hit_depth_bound
+        assert record.steps == 10
+
+    def test_divergence_mode_classifies(self):
+        record = run_execution(
+            spin_program(), NonfairPolicy(),
+            GuidedChooser([1] * 200),
+            ExecutorConfig(depth_bound=50, on_depth_exceeded="divergence"),
+        )
+        assert record.outcome is Outcome.DIVERGENCE
+        # Starving t is an unfair divergence, not a livelock.
+        assert record.divergence.kind is DivergenceKind.UNFAIR
+
+    def test_random_completion_terminates_spin(self):
+        """Random completion is fair with probability 1, so the spin
+        program terminates during completion."""
+        record = run_execution(
+            spin_program(), NonfairPolicy(),
+            GuidedChooser([1] * 10),
+            ExecutorConfig(depth_bound=10,
+                           on_depth_exceeded="random-completion", seed=7),
+            completion_rng=random.Random(7),
+        )
+        assert record.outcome is Outcome.TERMINATED
+        assert record.hit_depth_bound
+        assert record.completed_randomly
+        # Completion decisions are not recorded (not replayable).
+        assert len(record.decisions) <= 10
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_execution(
+                spin_program(), NonfairPolicy(), GuidedChooser([1] * 10),
+                ExecutorConfig(depth_bound=1, on_depth_exceeded="nope"),
+            )
+
+
+class TestPreemptionAccounting:
+    def make_ab(self):
+        def setup(env):
+            def body():
+                yield from pause()
+                yield from pause()
+
+            env.spawn(body, name="a")
+            env.spawn(body, name="b")
+
+        return VMProgram(setup, name="ab")
+
+    def test_alternation_counts_preemptions(self):
+        # Schedule a, b, a, b, a, b: each switch away from an enabled
+        # thread is a preemption.
+        record = run_execution(
+            self.make_ab(), NonfairPolicy(),
+            GuidedChooser([0, 1, 0, 1, 0, 0]),
+            ExecutorConfig(),
+        )
+        assert record.outcome is Outcome.TERMINATED
+        # Recount under a bound: same schedule has 4 preemptions
+        # (a->b, b->a, a->b, b->a; the final steps run to completion).
+        bounded = run_execution(
+            self.make_ab(), NonfairPolicy(),
+            GuidedChooser([0, 1, 0, 1, 0, 0]),
+            ExecutorConfig(preemption_bound=10),
+        )
+        assert bounded.preemptions == 4
+
+    def test_bound_zero_forces_run_to_completion(self):
+        record = run_execution(
+            self.make_ab(), NonfairPolicy(), GuidedChooser([]),
+            ExecutorConfig(preemption_bound=0),
+        )
+        assert record.outcome is Outcome.TERMINATED
+        assert record.preemptions == 0
+        names = [s.thread_name for s in record.trace]
+        # With zero preemptions each thread runs to completion in turn.
+        assert names == ["a", "a", "a", "b", "b", "b"]
+
+    def test_switch_after_yield_is_free(self):
+        def setup(env):
+            def a():
+                yield from yield_now()
+                yield from pause()
+
+            def b():
+                yield from pause()
+                yield from pause()
+
+            env.spawn(a, name="a")
+            env.spawn(b, name="b")
+
+        program = VMProgram(setup, name="yielding")
+        # Schedule: a start, a yield, b start (switch after a's yield —
+        # FREE), b pause1 (continue), a pause (switch away from enabled,
+        # non-yielding b — PREEMPTION), b pause2 (a finished — free).
+        record = run_execution(
+            program, NonfairPolicy(), GuidedChooser([0, 0, 1, 1, 0, 0]),
+            ExecutorConfig(preemption_bound=10),
+        )
+        assert record.outcome is Outcome.TERMINATED
+        assert record.preemptions == 1
+
+    def test_fairness_forced_switch_not_counted(self):
+        """When the fair scheduler deprioritizes the running thread, the
+        forced switch must not count as a preemption (Section 4)."""
+        program = spin_program()
+
+        class GreedyU:
+            def pick(self, kind, options):
+                return options - 1
+
+        record = run_execution(
+            program, FairPolicy(), GreedyU(),
+            ExecutorConfig(preemption_bound=0, depth_bound=100),
+        )
+        # u spins until the priority edge forces t in; with bound 0 the
+        # execution would be impossible if that switch were counted.
+        assert record.outcome is Outcome.TERMINATED
+        assert record.preemptions == 0
+
+
+class TestMonitors:
+    def test_config_monitor_violation(self):
+        from repro.runtime.errors import AssertionViolation
+
+        def paranoid(instance):
+            raise AssertionViolation("always fails")
+
+        record = run_execution(
+            two_step_program(), NonfairPolicy(), GuidedChooser([]),
+            ExecutorConfig(monitors=(paranoid,)),
+        )
+        assert record.outcome is Outcome.VIOLATION
+        assert "always fails" in str(record.violation)
+
+    def test_instance_monitor_runs(self):
+        from repro.engine.monitors import never
+
+        def setup(env):
+            x = SharedVar(0, name="x")
+
+            def body():
+                yield from x.set(5)
+
+            env.spawn(body, name="w")
+            env.add_monitor(never(lambda: x.peek() == 5, "x hit 5"))
+
+        record = run_execution(
+            VMProgram(setup, name="monitored"), NonfairPolicy(),
+            GuidedChooser([]), ExecutorConfig(),
+        )
+        assert record.outcome is Outcome.VIOLATION
+        assert "x hit 5" in str(record.violation)
+
+
+class TestRandomChooser:
+    def test_seeded_randomness_is_reproducible(self):
+        program = two_step_program()
+        runs = []
+        for _ in range(2):
+            record = run_execution(
+                program, NonfairPolicy(),
+                RandomChooser(random.Random(42)), ExecutorConfig(),
+            )
+            runs.append([s.thread_name for s in record.trace])
+        assert runs[0] == runs[1]

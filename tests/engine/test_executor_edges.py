@@ -1,0 +1,115 @@
+"""Executor edge cases."""
+
+import pytest
+
+from repro.core.policies import NonfairPolicy, nonfair_policy
+from repro.engine.executor import (
+    ExecutorConfig,
+    GuidedChooser,
+    run_execution,
+)
+from repro.engine.results import Outcome
+from repro.engine.strategies import explore_bfs, explore_dfs
+from repro.runtime.api import check, pause, yield_now
+from repro.runtime.program import VMProgram
+from repro.sync.atomics import SharedVar
+
+
+def empty_program():
+    return VMProgram(lambda env: None, name="empty")
+
+
+def single_program(steps=2):
+    def setup(env):
+        def body():
+            for _ in range(steps):
+                yield from pause()
+
+        env.spawn(body, name="solo")
+
+    return VMProgram(setup, name="single")
+
+
+class TestDegenerate:
+    def test_program_with_no_threads_terminates_immediately(self):
+        record = run_execution(empty_program(), NonfairPolicy(),
+                               GuidedChooser([]), ExecutorConfig())
+        assert record.outcome is Outcome.TERMINATED
+        assert record.steps == 0
+        assert record.decisions == []
+
+    def test_depth_bound_zero_prunes_instantly(self):
+        record = run_execution(
+            single_program(), NonfairPolicy(), GuidedChooser([]),
+            ExecutorConfig(depth_bound=0, on_depth_exceeded="prune"),
+        )
+        assert record.outcome is Outcome.DEPTH_PRUNED
+        assert record.steps == 0
+
+    def test_single_thread_has_singleton_options(self):
+        record = run_execution(single_program(), NonfairPolicy(),
+                               GuidedChooser([]), ExecutorConfig())
+        assert all(d.options == 1 for d in record.decisions)
+
+    def test_dfs_on_single_thread_is_one_execution(self):
+        result = explore_dfs(single_program(), nonfair_policy())
+        assert result.complete
+        assert result.executions == 1
+
+
+class TestTraceWindow:
+    def test_trace_ring_buffer_bounded(self):
+        record = run_execution(
+            single_program(steps=50), NonfairPolicy(), GuidedChooser([]),
+            ExecutorConfig(trace_window=10),
+        )
+        assert len(record.trace) == 10
+        # The kept suffix is the *last* ten transitions.
+        assert record.trace[-1].operation == "pause"
+
+
+class TestKeepInstance:
+    def test_final_instance_retained_when_requested(self):
+        record = run_execution(
+            single_program(), NonfairPolicy(), GuidedChooser([]),
+            ExecutorConfig(keep_instance=True),
+        )
+        assert record.final_instance is not None
+        assert not record.final_instance.has_live_threads()
+
+    def test_final_instance_absent_by_default(self):
+        record = run_execution(single_program(), NonfairPolicy(),
+                               GuidedChooser([]), ExecutorConfig())
+        assert record.final_instance is None
+
+
+class TestBFSShortestCounterexample:
+    def make_two_depth_bugs(self):
+        """A violation reachable both early and late; BFS must report a
+        shortest schedule."""
+
+        def setup(env):
+            x = SharedVar(0, name="x")
+
+            def victim():
+                value = yield from x.get()
+                check(value == 0, "saw the write")
+                yield from pause()
+                value = yield from x.get()
+                check(value == 0, "saw the write late")
+
+            def writer():
+                yield from x.set(1)
+
+            env.spawn(victim, name="v")
+            env.spawn(writer, name="w")
+
+        return VMProgram(setup, name="two-depth")
+
+    def test_bfs_counterexample_not_longer_than_dfs(self):
+        program = self.make_two_depth_bugs()
+        bfs = explore_bfs(program, nonfair_policy())
+        dfs = explore_dfs(program, nonfair_policy())
+        assert bfs.found_violation and dfs.found_violation
+        assert len(bfs.violations[0].decisions) <= \
+            len(dfs.violations[0].decisions)

@@ -1,0 +1,82 @@
+"""Temporal liveness monitor tests (the Section 6 extension)."""
+
+from repro.checker import Checker
+from repro.engine.liveness import EventuallyMonitor, ResponseMonitor
+from repro.engine.results import DivergenceKind
+from repro.runtime.api import yield_now
+from repro.runtime.program import VMProgram
+from repro.sync.atomics import SharedVar
+
+
+class TestResponseMonitorUnit:
+    def test_no_violation_when_responses_follow(self):
+        state = {"trigger": False, "response": False}
+        monitor = ResponseMonitor(lambda: state["trigger"],
+                                  lambda: state["response"],
+                                  min_occurrences=4)
+        for _ in range(20):
+            state["trigger"], state["response"] = True, False
+            monitor.observe()
+            state["trigger"], state["response"] = False, True
+            monitor.observe()
+        assert monitor.verdict() is None
+
+    def test_violation_when_trigger_unanswered(self):
+        state = {"on": True}
+        monitor = ResponseMonitor(lambda: state["on"], lambda: False,
+                                  min_occurrences=4)
+        for _ in range(10):
+            monitor.observe()
+        verdict = monitor.verdict()
+        assert verdict is not None and "violated" in verdict
+
+    def test_window_resets_pending_on_response(self):
+        events = [True] * 3 + [False]  # 3 triggers then a response
+        monitor = ResponseMonitor(lambda: True, lambda: False,
+                                  min_occurrences=4)
+        # Manually drive the deque: 3 unanswered triggers < threshold.
+        for _ in range(3):
+            monitor.observe()
+        assert monitor.verdict() is None
+
+
+class TestEventuallyMonitorUnit:
+    def test_satisfied_once_goal_holds(self):
+        flag = {"v": False}
+        monitor = EventuallyMonitor(lambda: flag["v"], name="goal")
+        monitor.observe()
+        assert monitor.verdict() is not None
+        flag["v"] = True
+        monitor.observe()
+        assert monitor.verdict() is None
+        flag["v"] = False  # goal may stop holding; still satisfied
+        monitor.observe()
+        assert monitor.verdict() is None
+
+
+class TestEndToEnd:
+    def make_stuck_boot(self):
+        """A program that diverges before ever reaching its goal state."""
+
+        def setup(env):
+            booted = SharedVar(False, name="booted")
+
+            def spinner():
+                # Waits for a boot that never happens (yielding politely).
+                while not (yield from booted.get()):
+                    yield from yield_now()
+
+            env.spawn(spinner, name="spinner")
+            env.add_temporal_monitor(EventuallyMonitor(
+                goal=lambda: bool(booted.peek()), name="boots",
+            ))
+
+        return VMProgram(setup, name="stuck-boot")
+
+    def test_temporal_violation_reported_at_divergence(self):
+        result = Checker(self.make_stuck_boot(), depth_bound=60).run()
+        assert not result.ok
+        divergent = result.divergence
+        assert divergent is not None
+        assert divergent.divergence.kind is DivergenceKind.TEMPORAL
+        assert "boots" in divergent.divergence.detail

@@ -1,0 +1,99 @@
+"""Repro-file (schedule persistence) tests."""
+
+import json
+
+import pytest
+
+from repro.core.policies import nonfair_policy
+from repro.engine.executor import ExecutorConfig
+from repro.engine.persistence import (
+    load_and_replay,
+    load_schedule,
+    save_schedule,
+    schedule_to_dict,
+)
+from repro.engine.results import Outcome
+from repro.engine.strategies import explore_dfs
+from repro.runtime.api import check
+from repro.runtime.program import VMProgram
+from repro.sync.atomics import SharedVar
+
+
+def racy_program():
+    def setup(env):
+        x = SharedVar(0, name="x")
+
+        def writer():
+            yield from x.set(1)
+            yield from x.set(2)
+
+        def reader():
+            value = yield from x.get()
+            check(value != 1, "saw intermediate")
+
+        env.spawn(writer, name="w")
+        env.spawn(reader, name="r")
+
+    return VMProgram(setup, name="racy")
+
+
+@pytest.fixture
+def found(tmp_path):
+    program = racy_program()
+    result = explore_dfs(program, nonfair_policy(), ExecutorConfig())
+    assert result.found_violation
+    return program, result.violations[0], tmp_path
+
+
+class TestRoundTrip:
+    def test_save_load_replay(self, found):
+        program, record, tmp_path = found
+        path = save_schedule(tmp_path / "bug.json", program, record,
+                             policy_name="nonfair",
+                             config=ExecutorConfig())
+        replayed = load_and_replay(path, racy_program(), nonfair_policy())
+        assert replayed.outcome is Outcome.VIOLATION
+        assert "saw intermediate" in str(replayed.violation)
+
+    def test_payload_contents(self, found):
+        program, record, _ = found
+        payload = schedule_to_dict(program, record, policy_name="nonfair")
+        assert payload["program"] == "racy"
+        assert payload["outcome"] == "violation"
+        assert payload["schedule"] == record.schedule
+        assert "saw intermediate" in payload["violation"]
+        json.dumps(payload)  # must be serializable
+
+    def test_config_restored_from_file(self, found):
+        program, record, tmp_path = found
+        path = save_schedule(
+            tmp_path / "bug.json", program, record,
+            config=ExecutorConfig(depth_bound=77, preemption_bound=3),
+        )
+        payload = load_schedule(path)
+        assert payload["config"]["depth_bound"] == 77
+        assert payload["config"]["preemption_bound"] == 3
+        # load_and_replay with config=None uses the stored one.
+        replayed = load_and_replay(path, racy_program(), nonfair_policy())
+        assert replayed.outcome is Outcome.VIOLATION
+
+
+class TestValidation:
+    def test_wrong_program_rejected(self, found):
+        program, record, tmp_path = found
+        path = save_schedule(tmp_path / "bug.json", program, record)
+        other = VMProgram(lambda env: None, name="other")
+        with pytest.raises(ValueError):
+            load_and_replay(path, other, nonfair_policy())
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 99, "schedule": []}))
+        with pytest.raises(ValueError):
+            load_schedule(path)
+
+    def test_missing_schedule_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 1}))
+        with pytest.raises(ValueError):
+            load_schedule(path)

@@ -1,0 +1,96 @@
+"""Trace-diff and summary reporting tests."""
+
+from repro.engine.reporting import (
+    diff_traces,
+    first_divergence,
+    format_thread_summary,
+    thread_summary,
+)
+from repro.engine.results import TraceStep
+
+
+def step(name, op, yielded=False, tid=None):
+    return TraceStep(tid=tid if tid is not None else name,
+                     thread_name=name, operation=op, yielded=yielded,
+                     enabled_before=frozenset())
+
+
+TRACE_A = [step("a", "acquire(m)"), step("b", "load(x)"),
+           step("a", "release(m)")]
+TRACE_B = [step("a", "acquire(m)"), step("a", "release(m)"),
+           step("b", "load(x)")]
+
+
+class TestFirstDivergence:
+    def test_finds_split_point(self):
+        assert first_divergence(TRACE_A, TRACE_B) == 1
+
+    def test_identical_traces(self):
+        assert first_divergence(TRACE_A, TRACE_A) is None
+
+    def test_prefix_relation(self):
+        assert first_divergence(TRACE_A, TRACE_A[:2]) is None
+
+
+class TestDiff:
+    def test_marks_divergence_row(self):
+        text = diff_traces(TRACE_A, TRACE_B, names=("pass", "fail"))
+        assert "diverge at step 1" in text
+        assert ">>" in text
+        assert "pass" in text and "fail" in text
+
+    def test_identical(self):
+        assert diff_traces(TRACE_A, TRACE_A) == "traces are identical"
+
+    def test_prefix_notes_continuation(self):
+        text = diff_traces(TRACE_A, TRACE_A[:1])
+        assert "agree for 1 steps" in text
+
+    def test_real_counterexample_diff(self):
+        """Diff a passing and a failing schedule of a real program."""
+        from repro.core.policies import nonfair_policy, NonfairPolicy
+        from repro.engine.executor import (
+            ExecutorConfig,
+            GuidedChooser,
+            run_execution,
+        )
+        from repro.engine.strategies import explore_dfs
+        from repro.runtime.api import check as rt_check
+        from repro.runtime.program import VMProgram
+        from repro.sync.atomics import SharedVar
+
+        def setup(env):
+            x = SharedVar(0, name="x")
+
+            def writer():
+                yield from x.set(1)
+                yield from x.set(2)
+
+            def reader():
+                value = yield from x.get()
+                rt_check(value != 1, "saw intermediate")
+
+            env.spawn(writer, name="w")
+            env.spawn(reader, name="r")
+
+        program = VMProgram(setup, name="racy")
+        passing = run_execution(program, NonfairPolicy(),
+                                GuidedChooser([]), ExecutorConfig())
+        failing = explore_dfs(program, nonfair_policy()).violations[0]
+        text = diff_traces(passing.trace, failing.trace,
+                           names=("passing", "failing"))
+        assert "diverge" in text
+
+
+class TestSummary:
+    def test_counts(self):
+        trace = [step("a", "op"), step("a", "yield", yielded=True),
+                 step("b", "op")]
+        rows = thread_summary(trace)
+        assert rows[0] == ("a", 2, 1)
+        assert rows[1] == ("b", 1, 0)
+
+    def test_format(self):
+        text = format_thread_summary([step("worker", "op")])
+        assert "worker" in text
+        assert "transitions" in text

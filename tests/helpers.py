@@ -1,0 +1,32 @@
+"""Shared test utilities."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.policies import PolicyFactory, fair_policy
+from repro.engine.executor import ExecutorConfig, GuidedChooser, run_execution
+from repro.engine.results import ExecutionResult
+from repro.runtime.program import VMProgram
+
+
+def run_once(
+    program: VMProgram,
+    guide: Sequence[int] = (),
+    *,
+    policy_factory: Optional[PolicyFactory] = None,
+    **config_kwargs,
+) -> ExecutionResult:
+    """Run a single (guided) execution of a program with the fair policy."""
+    factory = policy_factory or fair_policy()
+    config = ExecutorConfig(**config_kwargs)
+    return run_execution(program, factory(), GuidedChooser(guide), config)
+
+
+def make_program(setup, name: str = "test-program") -> VMProgram:
+    return VMProgram(setup, name=name)
+
+
+def thread_schedule(record: ExecutionResult) -> list:
+    """The sequence of thread names scheduled, from the recorded trace."""
+    return [step.thread_name for step in record.trace]

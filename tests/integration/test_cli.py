@@ -1,0 +1,109 @@
+"""Command-line interface tests (driven in-process via cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemos:
+    def test_demos_lists_names(self, capsys):
+        assert main(["demos"]) == 0
+        out = capsys.readouterr().out
+        assert "dining-livelock" in out
+        assert "singularity" in out
+
+    def test_demo_pass(self, capsys):
+        code = main(["demo", "spinloop", "--depth-bound", "200"])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_demo_fail(self, capsys):
+        code = main(["demo", "dining-livelock", "--depth-bound", "300"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "livelock" in out
+
+    def test_unknown_demo(self, capsys):
+        assert main(["demo", "nonsense"]) == 2
+
+
+class TestCheck:
+    def test_check_by_spec_with_args(self, capsys):
+        code = main([
+            "check", "repro.workloads.dining:dining_philosophers",
+            "-a", "2", "--depth-bound", "300",
+        ])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_check_failing_program(self, capsys):
+        code = main([
+            "check",
+            "repro.workloads.dining:dining_philosophers_livelock",
+            "-a", "2", "--depth-bound", "300",
+        ])
+        assert code == 1
+
+    def test_no_fairness_flag(self, capsys):
+        code = main([
+            "check", "repro.workloads.spinloop:spinloop",
+            "--no-fairness", "--depth-bound", "25",
+            "--max-executions", "500",
+        ])
+        assert code == 0
+        assert "nonfair" in capsys.readouterr().out
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", "no-colon-here"])
+        with pytest.raises(SystemExit):
+            main(["check", "nonexistent.module:factory"])
+        with pytest.raises(SystemExit):
+            main(["check", "repro.workloads.dining:_HUNGRY"])
+
+
+class TestReproRoundTrip:
+    def test_save_and_replay(self, tmp_path, capsys):
+        repro_file = str(tmp_path / "bug.json")
+        code = main([
+            "check", "repro.workloads.wsq:work_stealing_queue",
+            "-a", "1", "--preemption-bound", "1", "--depth-bound", "300",
+            "--save-repro", repro_file,
+        ])
+        # The correct queue passes; no repro file written.
+        assert code == 0
+
+        code = main([
+            "demo", "wsq-bug1", "--depth-bound", "300",
+            "--save-repro", repro_file,
+        ])
+        assert code == 1
+        assert "repro file written" in capsys.readouterr().out
+
+        # Replay it through the CLI against the same factory parameters
+        # (items=1, stealers=1, bug=1): the violation reproduces.
+        code = main([
+            "replay", repro_file,
+            "repro.workloads.wsq:work_stealing_queue",
+            "-a", "1", "-a", "1", "-a", "1",
+            "--preemption-bound", "2", "--depth-bound", "300",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "violation" in out
+
+    def test_replay_against_wrong_program_rejected(self, tmp_path):
+        repro_file = str(tmp_path / "bug.json")
+        code = main([
+            "demo", "wsq-bug1", "--depth-bound", "300",
+            "--save-repro", repro_file,
+        ])
+        assert code == 1
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            main([
+                "replay", repro_file,
+                "repro.workloads.spinloop:spinloop",
+            ])

@@ -1,0 +1,57 @@
+"""Divergence confirmation: the paper's "increase the bound and rerun".
+
+A divergence warning produced at a too-small depth bound may be a false
+alarm; `Checker.confirm_divergence` replays the schedule at a much larger
+bound.  Genuine livelocks stay divergent; spurious ones terminate.
+"""
+
+import pytest
+
+from repro.checker import Checker
+from repro.engine.results import DivergenceKind, Outcome
+from repro.workloads.dining import dining_philosophers_livelock
+from repro.workloads.spinloop import spinloop
+
+
+class TestSpuriousDivergence:
+    def test_small_bound_warning_dissolves_at_larger_bound(self):
+        # At depth 25 the first divergent-looking execution of the spin
+        # loop is just a long prefix of a terminating run.
+        checker = Checker(spinloop(), fairness=False, depth_bound=25,
+                          nonfair_completion="divergence",
+                          stop_on_first_divergence=True)
+        result = checker.run()
+        record = result.divergence
+        if record is None:
+            pytest.skip("no divergence found at this bound")
+        confirmed = checker.confirm_divergence(record)
+        assert confirmed.outcome is Outcome.TERMINATED
+
+
+class TestGenuineLivelock:
+    def test_livelock_survives_confirmation(self):
+        checker = Checker(dining_philosophers_livelock(2), depth_bound=150)
+        result = checker.run()
+        record = result.livelock
+        assert record is not None
+        confirmed = checker.confirm_divergence(record, factor=8)
+        assert confirmed.outcome is Outcome.DIVERGENCE
+        assert confirmed.divergence.kind is DivergenceKind.LIVELOCK
+        # The confirmation ran 8x deeper.
+        assert confirmed.steps >= 8 * record.steps
+
+    def test_requires_depth_bound(self):
+        checker = Checker(spinloop(), depth_bound=None)
+        result = checker.run()
+        fake = result.exploration  # no divergence anyway
+        with pytest.raises(ValueError):
+            checker.confirm_divergence(
+                result.divergence or _dummy_record(), factor=2,
+            )
+
+
+def _dummy_record():
+    from repro.engine.results import ExecutionResult, Outcome
+
+    return ExecutionResult(outcome=Outcome.DIVERGENCE, decisions=[],
+                           steps=0)

@@ -1,0 +1,51 @@
+"""Deadlock post-mortem: the wait-for report."""
+
+from repro.checker import Checker
+from repro.runtime.program import VMProgram
+from repro.sync.mutex import Mutex
+
+
+def ab_ba_program():
+    def setup(env):
+        a, b = Mutex(name="A"), Mutex(name="B")
+
+        def left():
+            yield from a.acquire()
+            yield from b.acquire()
+            yield from b.release()
+            yield from a.release()
+
+        def right():
+            yield from b.acquire()
+            yield from a.acquire()
+            yield from a.release()
+            yield from b.release()
+
+        env.spawn(left, name="left")
+        env.spawn(right, name="right")
+
+    return VMProgram(setup, name="ab-ba")
+
+
+class TestExplanation:
+    def test_wait_for_set_names_both_locks(self):
+        checker = Checker(ab_ba_program(), depth_bound=100)
+        result = checker.run()
+        assert not result.ok
+        record = result.violation  # deadlock record
+        assert record is not None and record.violation is None
+        explanation = checker.explain_deadlock(record)
+        assert "left blocked on acquire(B)" in explanation
+        assert "right blocked on acquire(A)" in explanation
+
+    def test_non_deadlocked_schedule_reports_none(self):
+        checker = Checker(ab_ba_program(), depth_bound=100)
+        # Run-to-completion schedule: no deadlock.
+        from repro.engine.executor import ExecutorConfig, GuidedChooser, run_execution
+        from repro.core.policies import FairPolicy
+
+        record = run_execution(ab_ba_program(), FairPolicy(),
+                               GuidedChooser([0] * 20),
+                               ExecutorConfig(depth_bound=100))
+        explanation = checker.explain_deadlock(record)
+        assert "did not deadlock" in explanation

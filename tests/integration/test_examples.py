@@ -1,0 +1,31 @@
+"""Smoke tests for the example scripts (the fast ones, in-process)."""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> None:
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        module = importlib.import_module(name)
+        module.main()
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+        sys.modules.pop(name, None)
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "dining_philosophers",
+    "promise_livelock",
+    "good_samaritan_worker_pool",
+])
+def test_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out.strip()

@@ -1,0 +1,94 @@
+"""Public API surface: everything the README/docs promise is importable
+and minimally functional."""
+
+import importlib
+
+import pytest
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_subpackage_all_names_resolve(self):
+        for module_name in ("repro.core", "repro.engine", "repro.sync",
+                            "repro.runtime", "repro.statespace",
+                            "repro.engine.strategies"):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_works(self):
+        from repro import Checker, VMProgram, sync
+
+        def make_program():
+            def setup(env):
+                x = sync.SharedVar(0, name="x")
+
+                def writer():
+                    yield from x.set(1)
+
+                def spinner():
+                    while (yield from x.get()) != 1:
+                        yield from sync.yield_now()
+
+                env.spawn(writer, name="t")
+                env.spawn(spinner, name="u")
+
+            return VMProgram(setup, name="spinloop")
+
+        result = Checker(make_program()).run()
+        assert result.ok
+        assert "PASS" in result.report()
+
+    def test_check_convenience(self):
+        from repro import check
+        from repro.workloads.spinloop import spinloop
+
+        assert check(spinloop()).ok
+
+
+class TestWorkloadRegistry:
+    def test_every_workload_module_builds_a_program(self):
+        from repro.core.model import Program
+
+        factories = [
+            ("repro.workloads.spinloop", "spinloop", ()),
+            ("repro.workloads.dining", "dining_philosophers", (2,)),
+            ("repro.workloads.wsq", "work_stealing_queue", ()),
+            ("repro.workloads.promise", "promise_program", ()),
+            ("repro.workloads.workerpool", "worker_pool", ()),
+            ("repro.workloads.dryad_channels", "dryad_pipeline", ()),
+            ("repro.workloads.ape", "ape_program", ()),
+            ("repro.workloads.singularity", "singularity_boot", ()),
+            ("repro.workloads.lockfree", "treiber_stack_program", ()),
+            ("repro.workloads.boundedbuffer", "bounded_buffer_program", ()),
+            ("repro.workloads.coherence", "coherence_program", ()),
+        ]
+        for module_name, factory_name, args in factories:
+            module = importlib.import_module(module_name)
+            program = getattr(module, factory_name)(*args)
+            assert isinstance(program, Program), factory_name
+            instance = program.instantiate()
+            assert instance.thread_ids()
+            closer = getattr(instance, "close", None)
+            if closer:
+                closer()
+
+    def test_cli_demos_all_build(self):
+        from repro.cli import _demos
+        from repro.core.model import Program
+
+        for name, factory in _demos().items():
+            program = factory()
+            assert isinstance(program, Program), name

@@ -1,0 +1,123 @@
+"""Cross-substrate consistency: the VM and the native-thread runtime
+explore the *same* execution tree for the same logical program.
+
+Both substrates expose identical scheduling points (one per instrumented
+operation plus the implicit start transition), so systematic search must
+produce identical execution counts and outcome distributions — a strong
+end-to-end check that the native handshake neither loses nor invents
+schedules.
+"""
+
+from repro.core.policies import fair_policy
+from repro.engine.executor import ExecutorConfig
+from repro.engine.strategies import ExplorationLimits, explore_dfs
+from repro.runtime import native
+from repro.runtime.api import yield_now
+from repro.runtime.program import VMProgram
+from repro.sync.atomics import SharedVar
+from repro.sync.mutex import Mutex
+
+LIMITS = ExplorationLimits(stop_on_first_violation=False,
+                           stop_on_first_divergence=False)
+
+
+def vm_spin():
+    def setup(env):
+        x = SharedVar(0, name="x")
+
+        def t():
+            yield from x.set(1)
+
+        def u():
+            while (yield from x.get()) != 1:
+                yield from yield_now()
+
+        env.spawn(t, name="t")
+        env.spawn(u, name="u")
+
+    return VMProgram(setup, name="spin")
+
+
+def native_spin():
+    def setup(env):
+        x = native.NativeSharedVar(0, name="x")
+
+        def t():
+            x.set(1)
+
+        def u():
+            while x.get() != 1:
+                native.yield_now()
+
+        env.spawn(t, name="t")
+        env.spawn(u, name="u")
+
+    return native.NativeProgram(setup, name="spin")
+
+
+def vm_locks():
+    def setup(env):
+        lock = Mutex(name="L")
+
+        def worker():
+            yield from lock.acquire()
+            yield from lock.release()
+
+        env.spawn(worker, name="a")
+        env.spawn(worker, name="b")
+
+    return VMProgram(setup, name="locks")
+
+
+def native_locks():
+    def setup(env):
+        lock = native.NativeMutex(name="L")
+
+        def worker():
+            lock.acquire()
+            lock.release()
+
+        env.spawn(worker, name="a")
+        env.spawn(worker, name="b")
+
+    return native.NativeProgram(setup, name="locks")
+
+
+class TestTreeEquivalence:
+    def explore(self, program):
+        return explore_dfs(program, fair_policy(),
+                           ExecutorConfig(depth_bound=200), LIMITS)
+
+    def test_spin_trees_identical(self):
+        vm = self.explore(vm_spin())
+        nat = self.explore(native_spin())
+        assert vm.complete and nat.complete
+        assert vm.executions == nat.executions
+        assert dict(vm.outcomes) == dict(nat.outcomes)
+
+    def test_lock_trees_identical(self):
+        vm = self.explore(vm_locks())
+        nat = self.explore(native_locks())
+        assert vm.complete and nat.complete
+        assert vm.executions == nat.executions
+        assert dict(vm.outcomes) == dict(nat.outcomes)
+
+    def test_same_traces_on_shared_schedule(self):
+        import random
+
+        from repro.core.policies import FairPolicy
+        from repro.engine.executor import (
+            GuidedChooser,
+            RandomChooser,
+            run_execution,
+        )
+
+        config = ExecutorConfig(depth_bound=100)
+        # Record a random schedule on the VM, replay it on real threads.
+        vm_rec = run_execution(vm_spin(), FairPolicy(),
+                               RandomChooser(random.Random(5)), config)
+        nat_rec = run_execution(native_spin(), FairPolicy(),
+                                GuidedChooser(vm_rec.schedule), config)
+        assert [s.operation for s in vm_rec.trace] == \
+            [s.operation for s in nat_rec.trace]
+        assert vm_rec.outcome == nat_rec.outcome

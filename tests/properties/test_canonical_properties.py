@@ -1,0 +1,73 @@
+"""Property tests of heap canonicalization (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.statespace.canonical import canonicalize
+
+# Nested structures of hashable-ish atoms.
+atoms = st.one_of(st.integers(-50, 50), st.booleans(), st.none(),
+                  st.text(max_size=4))
+structures = st.recursive(
+    atoms,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=3), children, max_size=3),
+    ),
+    max_leaves=12,
+)
+
+
+class TestDeterminism:
+    @settings(max_examples=100, deadline=None)
+    @given(value=structures)
+    def test_canonical_form_is_hashable_and_stable(self, value):
+        first = canonicalize(value)
+        second = canonicalize(value)
+        assert first == second
+        hash(first)
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=st.dictionaries(st.integers(0, 20), st.integers(),
+                                 max_size=6),
+           seed=st.integers(0, 1000))
+    def test_dict_insertion_order_irrelevant(self, value, seed):
+        items = list(value.items())
+        random.Random(seed).shuffle(items)
+        shuffled = dict(items)
+        assert canonicalize(value) == canonicalize(shuffled)
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=st.lists(st.integers(0, 30), max_size=8, unique=True),
+           seed=st.integers(0, 1000))
+    def test_set_order_irrelevant(self, values, seed):
+        original = set(values)
+        shuffled_list = list(values)
+        random.Random(seed).shuffle(shuffled_list)
+        rebuilt = set()
+        for item in shuffled_list:
+            rebuilt.add(item)
+        assert canonicalize(original) == canonicalize(rebuilt)
+
+
+class TestDistinction:
+    @settings(max_examples=100, deadline=None)
+    @given(left=structures, right=structures)
+    def test_equal_canonical_forms_only_for_similar_shapes(self, left, right):
+        # Soundness direction: structurally equal values canonicalize
+        # equal.  (The converse — distinct values may collide — is only
+        # allowed through aliasing/opaque merging, which these structures
+        # don't contain, so inequality must be preserved.)
+        if left == right and type(left) is type(right):
+            assert canonicalize(left) == canonicalize(right)
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=st.lists(st.integers(0, 5), min_size=1, max_size=5))
+    def test_objects_with_equal_attrs_collide(self, value):
+        class Box:
+            def __init__(self, inner):
+                self.inner = inner
+
+        assert canonicalize(Box(value)) == canonicalize(Box(list(value)))

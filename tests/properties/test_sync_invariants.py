@@ -1,0 +1,110 @@
+"""Mutual-exclusion invariants over randomized lock programs (hypothesis).
+
+Random programs of threads acquiring/releasing random mutexes and
+semaphores are explored exhaustively; mutual exclusion must hold in
+*every* interleaving.  Deadlocks are possible (random nested acquisition
+orders) and fine — the property under test is exclusion, not progress.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.policies import nonfair_policy
+from repro.engine.monitors import invariant
+from repro.engine.strategies import ExplorationLimits, explore_dfs
+from repro.runtime.api import pause
+from repro.runtime.program import VMProgram
+from repro.sync.mutex import Mutex
+from repro.sync.semaphore import Semaphore
+
+SETTINGS = settings(max_examples=20, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+LIMITS = ExplorationLimits(max_executions=4000,
+                           stop_on_first_violation=False,
+                           stop_on_first_divergence=False)
+
+
+def random_lock_program(seed: int, *, n_threads=2, n_locks=2,
+                        ops_per_thread=2) -> VMProgram:
+    rng = random.Random(seed)
+    plans = [
+        [rng.randrange(n_locks) for _ in range(ops_per_thread)]
+        for _ in range(n_threads)
+    ]
+
+    def setup(env):
+        locks = [Mutex(name=f"m{i}") for i in range(n_locks)]
+        occupancy = [0] * n_locks
+
+        def worker(plan):
+            for lock_index in plan:
+                yield from locks[lock_index].acquire()
+                occupancy[lock_index] += 1
+                yield from pause("critical-section")
+                occupancy[lock_index] -= 1
+                yield from locks[lock_index].release()
+
+        for i, plan in enumerate(plans):
+            env.spawn(worker, plan, name=f"w{i}")
+        env.add_monitor(invariant(
+            lambda: all(count <= 1 for count in occupancy),
+            "two threads inside the same critical section",
+        ))
+
+    return VMProgram(setup, name=f"locks({seed})")
+
+
+def random_semaphore_program(seed: int, *, permits=2, n_threads=3) -> VMProgram:
+    rng = random.Random(seed)
+
+    def setup(env):
+        gate = Semaphore(permits, name="gate")
+        inside = [0]
+
+        def worker():
+            yield from gate.wait()
+            inside[0] += 1
+            yield from pause("inside")
+            inside[0] -= 1
+            yield from gate.release()
+
+        for i in range(n_threads):
+            env.spawn(worker, name=f"w{i}")
+        env.add_monitor(invariant(
+            lambda: inside[0] <= permits,
+            "semaphore admitted too many threads",
+        ))
+
+    return VMProgram(setup, name=f"sem({seed})")
+
+
+class TestMutualExclusion:
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_mutexes_exclude_in_every_interleaving(self, seed):
+        result = explore_dfs(random_lock_program(seed), nonfair_policy(),
+                             limits=LIMITS)
+        # Deadlocks are legitimate outcomes of random nesting; actual
+        # exclusion violations are not.
+        assert not result.violations, (
+            result.violations[0].violation if result.violations else None
+        )
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_semaphore_bounds_occupancy(self, seed):
+        result = explore_dfs(random_semaphore_program(seed),
+                             nonfair_policy(), limits=LIMITS)
+        assert not result.violations
+
+    @SETTINGS
+    @given(seed=st.integers(0, 2_000))
+    def test_fair_policy_preserves_exclusion(self, seed):
+        from repro.core.policies import fair_policy
+        from repro.engine.executor import ExecutorConfig
+
+        result = explore_dfs(random_lock_program(seed), fair_policy(),
+                             ExecutorConfig(depth_bound=200), LIMITS)
+        assert not result.violations

@@ -1,0 +1,142 @@
+"""Runtime verbs (spawn/join/choose/check) and program factory tests."""
+
+import pytest
+
+from repro.core.policies import NonfairPolicy, nonfair_policy
+from repro.engine.executor import ExecutorConfig, GuidedChooser, run_execution
+from repro.engine.results import Outcome
+from repro.engine.strategies import explore_dfs
+from repro.runtime.api import check, choose, join, sleep, spawn, yield_now
+from repro.runtime.errors import AssertionViolation
+from repro.runtime.program import VMProgram, program
+from repro.runtime.vm import VirtualMachine
+
+
+def run_to_end(setup, guide=(), **config_kwargs):
+    return run_execution(
+        VMProgram(setup, name="t"), NonfairPolicy(), GuidedChooser(guide),
+        ExecutorConfig(**config_kwargs),
+    )
+
+
+class TestSpawnJoin:
+    def test_parent_waits_for_child(self):
+        order = []
+
+        def setup(env):
+            def child():
+                yield from sleep()
+                order.append("child")
+
+            def parent():
+                task = yield from spawn(child, name="kid")
+                ok = yield from join(task)
+                order.append(("parent", ok))
+
+            env.spawn(parent, name="parent")
+
+        record = run_to_end(setup)
+        assert record.outcome is Outcome.TERMINATED
+        assert order == ["child", ("parent", True)]
+
+    def test_join_timeout_returns_false_when_pending(self):
+        results = []
+
+        def setup(env):
+            def child():
+                yield from sleep()
+                yield from sleep()
+
+            def parent():
+                task = yield from spawn(child)
+                results.append((yield from join(task, timeout=1)))
+
+            env.spawn(parent, name="parent")
+
+        # Guide: parent start, spawn, then immediately try the join.
+        record = run_to_end(setup, guide=[0, 0, 0])
+        assert results and results[0] is False
+
+    def test_join_on_crashed_task_succeeds(self):
+        outcomes = []
+
+        def setup(env):
+            def child():
+                yield from sleep()
+                raise AssertionViolation("child blew up")
+
+            def parent():
+                task = yield from spawn(child, name="kid")
+                outcomes.append((yield from join(task)))
+
+            env.spawn(parent, name="parent")
+
+        record = run_to_end(setup)
+        # The child's violation ends the whole execution.
+        assert record.outcome is Outcome.VIOLATION
+
+
+class TestChooseAndCheck:
+    def test_choose_explores_all_branches(self):
+        seen = []
+
+        def setup(env):
+            def body():
+                value = yield from choose(3)
+                seen.append(value)
+
+            env.spawn(body, name="c")
+
+        result = explore_dfs(VMProgram(setup, name="choices"),
+                             nonfair_policy())
+        assert result.complete
+        assert sorted(set(seen)) == [0, 1, 2]
+
+    def test_check_raises_violation(self):
+        with pytest.raises(AssertionViolation):
+            check(False, "nope")
+        check(True, "fine")  # no raise
+
+    def test_yield_now_is_yielding_transition(self):
+        def setup(env):
+            def body():
+                yield from yield_now()
+
+            env.spawn(body, name="y")
+
+        record = run_to_end(setup)
+        assert any(step.yielded for step in record.trace)
+
+
+class TestProgramFactory:
+    def test_decorator_builds_program(self):
+        @program("decorated")
+        def my_program(env):
+            def body():
+                yield from sleep()
+
+            env.spawn(body, name="b")
+
+        assert isinstance(my_program, VMProgram)
+        assert my_program.name == "decorated"
+        instance = my_program.instantiate()
+        assert len(instance.thread_ids()) == 1
+
+    def test_instances_are_fresh(self):
+        counter = {"builds": 0}
+
+        def setup(env):
+            counter["builds"] += 1
+
+            def body():
+                yield from sleep()
+
+            env.spawn(body)
+
+        prog = VMProgram(setup, name="fresh")
+        prog.instantiate()
+        prog.instantiate()
+        assert counter["builds"] == 2
+
+    def test_repr(self):
+        assert "fresh" in repr(VMProgram(lambda env: None, name="fresh"))

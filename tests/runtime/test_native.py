@@ -1,0 +1,201 @@
+"""Native-thread runtime tests: real OS threads under the checker."""
+
+import pytest
+
+from repro.checker import Checker, check
+from repro.engine.results import DivergenceKind, Outcome
+from repro.runtime.native import (
+    NativeEvent,
+    NativeMutex,
+    NativeProgram,
+    NativeSemaphore,
+    NativeSharedVar,
+    join,
+    spawn,
+    yield_now,
+)
+from repro.runtime.errors import ScheduleError
+
+
+def counter_program(racy: bool):
+    def setup(env):
+        lock = NativeMutex(name="L")
+        counter = NativeSharedVar(0, name="n")
+        done = []
+
+        def safe_worker():
+            lock.acquire()
+            value = counter.get()
+            counter.set(value + 1)
+            lock.release()
+
+        def racy_worker():
+            value = counter.get()
+            counter.set(value + 1)
+
+        worker = racy_worker if racy else safe_worker
+        workers = [env.spawn(worker, name=f"w{i}") for i in range(2)]
+
+        def auditor():
+            for task in workers:
+                join(task)
+            from repro.runtime.errors import AssertionViolation
+
+            if counter.peek() != 2:
+                raise AssertionViolation("lost update")
+
+        env.spawn(auditor, name="auditor")
+        env.set_state_fn(lambda: (counter.peek(), lock.owner_name()))
+
+    label = "racy" if racy else "safe"
+    return NativeProgram(setup, name=f"native-counter-{label}")
+
+
+class TestNativeChecking:
+    def test_safe_counter_passes(self):
+        result = check(counter_program(racy=False), depth_bound=200)
+        assert result.ok
+        assert result.exploration.complete
+
+    def test_racy_counter_fails_with_replayable_schedule(self):
+        checker = Checker(counter_program(racy=True), depth_bound=200)
+        result = checker.run()
+        assert not result.ok
+        assert "lost update" in str(result.violation.violation)
+        replayed = checker.replay(result.violation)
+        assert replayed.outcome is Outcome.VIOLATION
+
+    def test_fairness_terminates_native_spin_loop(self):
+        def setup(env):
+            x = NativeSharedVar(0, name="x")
+
+            def t():
+                x.set(1)
+
+            def u():
+                while x.get() != 1:
+                    yield_now()
+
+            env.spawn(t, name="t")
+            env.spawn(u, name="u")
+
+        result = check(NativeProgram(setup, name="native-spin"),
+                       depth_bound=200)
+        assert result.ok
+        assert result.exploration.complete
+
+    def test_gs_violation_detected_on_native_threads(self):
+        def setup(env):
+            x = NativeSharedVar(0, name="x")
+
+            def t():
+                x.set(1)
+
+            def u():
+                while x.get() != 1:
+                    pass  # spins without yielding
+
+            env.spawn(t, name="t")
+            env.spawn(u, name="u")
+
+        result = check(NativeProgram(setup, name="native-spin-noyield"),
+                       depth_bound=150)
+        assert not result.ok
+        assert result.gs_violation is not None
+
+
+class TestNativePrimitives:
+    def test_dynamic_spawn_and_join(self):
+        def setup(env):
+            log = []
+
+            def child():
+                log.append("child")
+
+            def parent():
+                task = spawn(child, name="kid")
+                join(task)
+                log.append("parent")
+                from repro.runtime.errors import AssertionViolation
+
+                if log != ["child", "parent"]:
+                    raise AssertionViolation(f"bad order: {log}")
+
+            env.spawn(parent, name="parent")
+
+        result = check(NativeProgram(setup, name="native-spawn"),
+                       depth_bound=200, max_executions=500)
+        assert result.ok
+
+    def test_semaphore_and_event(self):
+        def setup(env):
+            sem = NativeSemaphore(0, name="s")
+            evt = NativeEvent(name="e")
+            order = []
+
+            def producer():
+                order.append("produce")
+                sem.release()
+                evt.set()
+
+            def consumer():
+                sem.wait()
+                evt.wait()
+                order.append("consume")
+
+            env.spawn(producer, name="p")
+            env.spawn(consumer, name="c")
+
+        result = check(NativeProgram(setup, name="native-sem"),
+                       depth_bound=200)
+        assert result.ok
+
+    def test_deadlock_detected(self):
+        def setup(env):
+            a, b = NativeMutex(name="a"), NativeMutex(name="b")
+
+            def left():
+                a.acquire()
+                b.acquire()
+                b.release()
+                a.release()
+
+            def right():
+                b.acquire()
+                a.acquire()
+                a.release()
+                b.release()
+
+            env.spawn(left, name="L")
+            env.spawn(right, name="R")
+
+        result = check(NativeProgram(setup, name="native-deadlock"),
+                       depth_bound=200)
+        assert not result.ok
+        assert result.exploration.deadlocks
+
+    def test_primitive_outside_controlled_thread_rejected(self):
+        lock = NativeMutex()
+        with pytest.raises(ScheduleError):
+            lock.acquire()
+
+
+class TestDeterminism:
+    def test_replay_determinism_across_real_threads(self):
+        from repro.core.policies import fair_policy
+        from repro.engine.executor import (
+            ExecutorConfig,
+            GuidedChooser,
+            RandomChooser,
+            run_execution,
+        )
+        import random
+
+        program = counter_program(racy=False)
+        config = ExecutorConfig(depth_bound=200)
+        original = run_execution(program, fair_policy()(),
+                                 RandomChooser(random.Random(3)), config)
+        replayed = run_execution(program, fair_policy()(),
+                                 GuidedChooser(original.schedule), config)
+        assert [s.operation for s in original.trace] == \
+            [s.operation for s in replayed.trace]

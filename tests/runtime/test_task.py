@@ -1,0 +1,105 @@
+"""Task lifecycle tests."""
+
+import pytest
+
+from repro.runtime.errors import AssertionViolation, TaskCrash
+from repro.runtime.ops import PauseOp, StartOp
+from repro.runtime.task import Task, TaskState
+
+
+def make_task(gen_fn, *args):
+    return Task(0, "worker", gen_fn(*args))
+
+
+class TestLifecycle:
+    def test_new_task_pending_start(self):
+        def body():
+            yield PauseOp()
+
+        task = make_task(body)
+        assert isinstance(task.pending, StartOp)
+        assert task.state is TaskState.READY
+        assert not task.done
+
+    def test_advance_to_first_operation(self):
+        def body():
+            yield PauseOp("first")
+
+        task = make_task(body)
+        task.advance(None)
+        assert isinstance(task.pending, PauseOp)
+        assert task.pending.label == "first"
+
+    def test_finish_with_return_value(self):
+        def body():
+            yield PauseOp()
+            return 42
+
+        task = make_task(body)
+        task.advance(None)  # start -> pause
+        task.advance(None)  # pause -> return
+        assert task.state is TaskState.FINISHED
+        assert task.done
+        assert task.result == 42
+        assert task.pending is None
+
+    def test_value_sent_into_generator(self):
+        seen = []
+
+        def body():
+            value = yield PauseOp()
+            seen.append(value)
+
+        task = make_task(body)
+        task.advance(None)
+        task.advance("hello")
+        assert seen == ["hello"]
+
+    def test_immediate_return(self):
+        def body():
+            return "done"
+            yield  # pragma: no cover - makes this a generator
+
+        task = make_task(body)
+        task.advance(None)
+        assert task.done
+        assert task.result == "done"
+
+
+class TestFailures:
+    def test_crash_wrapped_and_marked(self):
+        def body():
+            yield PauseOp()
+            raise RuntimeError("boom")
+
+        task = make_task(body)
+        task.advance(None)
+        with pytest.raises(TaskCrash) as excinfo:
+            task.advance(None)
+        assert task.state is TaskState.FAILED
+        assert task.failed
+        assert "boom" in str(excinfo.value)
+        assert isinstance(excinfo.value.original, RuntimeError)
+        assert excinfo.value.tid == 0
+
+    def test_property_violation_passes_through(self):
+        def body():
+            yield PauseOp()
+            raise AssertionViolation("invariant down")
+
+        task = make_task(body)
+        task.advance(None)
+        with pytest.raises(AssertionViolation) as excinfo:
+            task.advance(None)
+        assert task.failed
+        assert excinfo.value.tid == 0
+
+    def test_yielding_non_operation_is_an_error(self):
+        def body():
+            yield "not an operation"
+
+        task = make_task(body)
+        with pytest.raises(TaskCrash) as excinfo:
+            task.advance(None)
+        assert "yield from" in str(excinfo.value)
+        assert task.failed

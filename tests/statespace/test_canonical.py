@@ -1,0 +1,92 @@
+"""Heap canonicalization tests."""
+
+from repro.statespace.canonical import canonicalize, signature_hash
+
+
+class TestAtoms:
+    def test_atoms_pass_through(self):
+        for value in (None, True, 0, 1.5, "s", b"b", frozenset({1})):
+            assert canonicalize(value) == value
+
+
+class TestContainers:
+    def test_dict_insertion_order_irrelevant(self):
+        first = {"a": 1, "b": 2}
+        second = {"b": 2, "a": 1}
+        assert canonicalize(first) == canonicalize(second)
+
+    def test_set_order_irrelevant(self):
+        assert canonicalize({3, 1, 2}) == canonicalize({2, 3, 1})
+
+    def test_list_vs_tuple_distinguished(self):
+        assert canonicalize([1, 2]) != canonicalize((1, 2))
+
+    def test_nested_structures(self):
+        value = {"k": [1, {2, 3}, {"inner": (4,)}]}
+        assert canonicalize(value) == canonicalize(
+            {"k": [1, {3, 2}, {"inner": (4,)}]}
+        )
+
+    def test_result_is_hashable(self):
+        hash(canonicalize({"a": [1, {2}]}))
+        assert isinstance(signature_hash([1, 2, {"x": 3}]), int)
+
+
+class TestSharing:
+    def test_shared_substructure_preserved(self):
+        shared = [1, 2]
+        aliased = [shared, shared]
+        copied = [[1, 2], [1, 2]]
+        # Aliasing is part of heap shape: distinct canonical forms.
+        assert canonicalize(aliased) != canonicalize(copied)
+
+    def test_cycles_handled(self):
+        loop = []
+        loop.append(loop)
+        result = canonicalize(loop)
+        assert ("@ref", 0) in result
+
+    def test_isomorphic_cycles_equal(self):
+        first = []
+        first.append(first)
+        second = []
+        second.append(second)
+        assert canonicalize(first) == canonicalize(second)
+
+
+class TestObjects:
+    def test_state_signature_method_used(self):
+        class WithSig:
+            def state_signature(self):
+                return ("custom", 7)
+
+        assert canonicalize(WithSig()) == ("WithSig", ("tuple", "custom", 7))
+
+    def test_dict_objects_use_public_attrs(self):
+        class Plain:
+            def __init__(self):
+                self.value = 3
+                self._hidden = "no"
+
+        result = canonicalize(Plain())
+        assert ("value", 3) in result
+        assert all("_hidden" not in str(part) for part in result)
+
+    def test_identity_does_not_matter(self):
+        class Plain:
+            def __init__(self, v):
+                self.v = v
+
+        assert canonicalize(Plain(1)) == canonicalize(Plain(1))
+        assert canonicalize(Plain(1)) != canonicalize(Plain(2))
+
+    def test_slots_objects(self):
+        class Slotted:
+            __slots__ = ("x", "_y")
+
+            def __init__(self):
+                self.x = 1
+                self._y = 2
+
+        result = canonicalize(Slotted())
+        assert result == ("Slotted", ("x", 1))

@@ -1,0 +1,86 @@
+"""Cycle analysis tests: fair/unfair cycles, yield counts."""
+
+from repro.statespace.cycles import (
+    build_state_graph,
+    cycle_yield_count,
+    enumerate_cycles,
+    find_fair_cycles,
+    has_fair_cycle,
+    is_fair_cycle,
+)
+from repro.statespace.transition_system import figure3_system, pc_program
+
+
+def two_thread_pingpong():
+    """Both threads toggle the shared bit forever, yielding each time —
+    every cycle through both threads is fair."""
+    toggle = (lambda s: True, lambda s: 1 - s, 0, True)
+    return pc_program("pingpong", 0, {"a": (toggle,), "b": (toggle,)})
+
+
+class TestFigure3Cycles:
+    def test_single_unfair_cycle(self):
+        system = figure3_system()
+        graph = build_state_graph(system)
+        cycles = list(enumerate_cycles(graph))
+        assert len(cycles) == 1
+        (cycle,) = cycles
+        # The cycle is u's spin loop; t is enabled throughout but never
+        # scheduled: unfair.
+        assert all(tid == "u" for _, tid in cycle)
+        assert not is_fair_cycle(system, cycle)
+        assert not has_fair_cycle(system)
+
+    def test_cycle_yield_count(self):
+        system = figure3_system()
+        graph = build_state_graph(system)
+        (cycle,) = list(enumerate_cycles(graph))
+        # One of the two transitions (the yield() instruction) yields.
+        assert cycle_yield_count(system, cycle) == 1
+
+
+class TestFairCycles:
+    def test_pingpong_has_fair_cycles(self):
+        system = two_thread_pingpong()
+        fair = find_fair_cycles(system)
+        assert fair
+        for cycle in fair:
+            scheduled = {tid for _, tid in cycle}
+            assert scheduled == {"a", "b"}
+
+    def test_pingpong_also_has_unfair_cycles(self):
+        system = two_thread_pingpong()
+        graph = build_state_graph(system)
+        unfair = [c for c in enumerate_cycles(graph)
+                  if not is_fair_cycle(system, c)]
+        # A single thread toggling alone starves the other: unfair.
+        assert unfair
+
+    def test_disabled_thread_does_not_make_cycle_unfair(self):
+        # One runner loops; the other thread is never enabled: by the
+        # paper's definition the cycle is fair.
+        system = pc_program(
+            "lonely", 0,
+            {
+                "runner": ((lambda s: True, lambda s: s, 0, True),),
+                "sleeper": ((lambda s: False, lambda s: s, 1, False),),
+            },
+        )
+        fair = find_fair_cycles(system)
+        assert fair
+        assert all(is_fair_cycle(system, c) for c in fair)
+
+
+class TestGraph:
+    def test_graph_counts(self):
+        system = figure3_system()
+        graph = build_state_graph(system)
+        assert graph.state_count == 5
+        # Initial state has both threads enabled.
+        assert len(graph.successors(system.initial)) == 2
+
+    def test_enumerate_limit(self):
+        system = two_thread_pingpong()
+        graph = build_state_graph(system)
+        cycles = list(enumerate_cycles(graph, limit=2))
+        assert len(cycles) <= 2

@@ -1,0 +1,82 @@
+"""Signature-graph extraction and static livelock analysis tests."""
+
+from repro.statespace.signature_graph import (
+    build_signature_graph,
+    find_livelock_candidates,
+)
+from repro.workloads.dining import (
+    dining_philosophers,
+    dining_philosophers_livelock,
+)
+from repro.workloads.promise import promise_program
+from repro.workloads.spinloop import spinloop
+
+
+class TestGraphConstruction:
+    def test_spinloop_graph(self):
+        graph = build_signature_graph(spinloop(), depth_bound=100)
+        assert graph.complete
+        assert graph.initial is not None
+        assert graph.state_count > 0
+        assert graph.edges
+        # Some state has the spinner's yielding transition annotated.
+        assert any("u" in yielding for yielding in graph.yielding.values())
+
+    def test_all_cycles_of_spinloop_are_unfair(self):
+        graph = build_signature_graph(spinloop(), depth_bound=100)
+        cycles = list(graph.cycles())
+        assert cycles  # the spin loop is there
+        assert all(not graph.is_fair_cycle(c) for c in cycles)
+
+    def test_max_executions_marks_incomplete(self):
+        graph = build_signature_graph(dining_philosophers(3),
+                                      depth_bound=200, max_executions=3)
+        assert not graph.complete
+
+
+class TestLivelockCandidates:
+    def test_fair_terminating_program_has_none(self):
+        assert find_livelock_candidates(dining_philosophers(2),
+                                        depth_bound=200) == []
+
+    def test_figure1_cycle_found_statically(self):
+        candidates = find_livelock_candidates(
+            dining_philosophers_livelock(2), depth_bound=200,
+        )
+        assert candidates
+        shortest = min(candidates, key=len)
+        # The paper's livelock: both philosophers participate, six
+        # transitions (Acquire, Acquire, TryAcquire, TryAcquire,
+        # Release, Release).
+        scheduled = [tid for _, tid in shortest]
+        assert len(shortest) == 6
+        assert set(scheduled) == {"Phil1", "Phil2"}
+
+    def test_yield_counts_on_livelock_cycle(self):
+        graph = build_signature_graph(dining_philosophers_livelock(2),
+                                      depth_bound=200)
+        fair = [c for c in graph.cycles() if graph.is_fair_cycle(c)]
+        shortest = min(fair, key=len)
+        # Each philosopher yields exactly once per lap (the failing
+        # TryAcquire), so δ = 1 — within Theorem 6's guarantee.
+        assert graph.cycle_yield_count(shortest) == 1
+
+    def test_promise_stale_read_found_statically(self):
+        candidates = find_livelock_candidates(
+            promise_program(1, stale_read_bug=True), depth_bound=200,
+        )
+        assert candidates
+
+    def test_static_and_dynamic_agree(self):
+        """The checker diverges exactly on the programs whose signature
+        graphs contain fair cycles."""
+        from repro.checker import check
+
+        for program_factory, has_livelock in [
+            (lambda: dining_philosophers(2), False),
+            (lambda: dining_philosophers_livelock(2), True),
+        ]:
+            static = bool(find_livelock_candidates(program_factory(),
+                                                   depth_bound=200))
+            dynamic = not check(program_factory(), depth_bound=300).ok
+            assert static == dynamic == has_livelock

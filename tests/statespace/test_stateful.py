@@ -1,0 +1,101 @@
+"""Stateful ground-truth search tests."""
+
+from repro.core.policies import fair_policy, nonfair_policy
+from repro.engine.coverage import CoverageTracker
+from repro.engine.executor import ExecutorConfig
+from repro.engine.strategies import ExplorationLimits, explore_dfs
+from repro.runtime.api import pause
+from repro.runtime.program import VMProgram
+from repro.statespace.adapter import TransitionSystemProgram
+from repro.statespace.stateful import (
+    reachable_states,
+    stateful_state_count,
+)
+from repro.statespace.transition_system import figure3_system
+from repro.sync.atomics import SharedVar
+from repro.workloads.dining import dining_philosophers
+
+
+class TestReachableStates:
+    def test_figure3(self):
+        assert len(reachable_states(figure3_system())) == 5
+
+    def test_max_states_cap(self):
+        import pytest
+
+        from repro.statespace.transition_system import pc_program
+
+        # An infinite counter overflows any cap.
+        system = pc_program(
+            "infinite", 0,
+            {"t": ((lambda s: True, lambda s: s + 1, 0, True),)},
+        )
+        with pytest.raises(RuntimeError):
+            reachable_states(system, max_states=10)
+
+
+class TestStatefulStateCount:
+    def test_terminates_on_cyclic_program(self):
+        """The dining retry loops put cycles in the state space; visited
+        pruning must still terminate the replay search."""
+        result = stateful_state_count(dining_philosophers(2),
+                                      depth_bound=200)
+        assert result.complete
+        assert result.count == 20
+        assert result.executions < 100
+
+    def test_context_bound_reduces_or_keeps_states(self):
+        total = stateful_state_count(dining_philosophers(3), depth_bound=200)
+        cb1 = stateful_state_count(dining_philosophers(3),
+                                   preemption_bound=1, depth_bound=200)
+        assert cb1.count <= total.count
+        assert total.complete and cb1.complete
+
+    def test_agrees_with_graph_search_on_explicit_system(self):
+        program = TransitionSystemProgram(figure3_system())
+        result = stateful_state_count(program, depth_bound=100)
+        assert result.states == reachable_states(figure3_system())
+
+    def test_max_executions_marks_incomplete(self):
+        result = stateful_state_count(dining_philosophers(3),
+                                      depth_bound=200, max_executions=3)
+        assert not result.complete
+
+    def test_fair_search_covers_ground_truth_on_dining(self):
+        """The headline coverage claim of Table 2, in miniature."""
+        truth = stateful_state_count(dining_philosophers(2), depth_bound=200)
+        coverage = CoverageTracker()
+        explore_dfs(
+            dining_philosophers(2), fair_policy(),
+            ExecutorConfig(depth_bound=200),
+            ExplorationLimits(stop_on_first_violation=False,
+                              stop_on_first_divergence=False),
+            coverage=coverage,
+        )
+        assert truth.states <= coverage.signatures()
+
+
+class TestPruningRegression:
+    def test_signature_aliased_starts_do_not_self_prune(self):
+        """Regression: implicit start transitions leave the user-level
+        signature unchanged; pruning must use the precise signature or the
+        whole search collapses after one step."""
+
+        def setup(env):
+            x = SharedVar(0, name="x")
+
+            def body():
+                yield from pause()
+                yield from x.set(1)
+
+            env.spawn(body, name="a")
+            env.spawn(body, name="b")
+            env.set_state_fn(lambda: x.peek())
+
+        program = VMProgram(setup, name="aliased")
+        result = stateful_state_count(program, depth_bound=50)
+        assert result.complete
+        # Two user-visible states: x == 0 and x == 1.
+        assert result.count == 2
+        # But the search had to run through more than two executions.
+        assert result.executions >= 2

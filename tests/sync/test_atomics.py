@@ -1,0 +1,135 @@
+"""Atomic cell / shared variable semantics."""
+
+from repro.runtime.vm import VirtualMachine
+from repro.sync.atomics import AtomicCell, SharedVar
+
+
+def run_body(body):
+    vm = VirtualMachine()
+    task = vm.spawn_task(body, name="t")
+    while vm.enabled_threads():
+        vm.step(task.tid)
+    return task
+
+
+class TestOperations:
+    def test_load_store(self):
+        cell = AtomicCell(0)
+        seen = []
+
+        def body():
+            seen.append((yield from cell.load()))
+            yield from cell.store(7)
+            seen.append((yield from cell.load()))
+
+        run_body(body)
+        assert seen == [0, 7]
+
+    def test_cas_success_and_failure(self):
+        cell = AtomicCell(5)
+        outcomes = []
+
+        def body():
+            outcomes.append((yield from cell.compare_and_swap(5, 6)))
+            outcomes.append((yield from cell.compare_and_swap(5, 7)))
+
+        run_body(body)
+        assert outcomes == [True, False]
+        assert cell.peek() == 6
+
+    def test_fetch_add_returns_previous(self):
+        cell = AtomicCell(10)
+        old = []
+
+        def body():
+            old.append((yield from cell.fetch_add(3)))
+            old.append((yield from cell.fetch_add(-1)))
+
+        run_body(body)
+        assert old == [10, 13]
+        assert cell.peek() == 12
+
+    def test_exchange(self):
+        cell = AtomicCell("a")
+        old = []
+
+        def body():
+            old.append((yield from cell.exchange("b")))
+
+        run_body(body)
+        assert old == ["a"]
+        assert cell.peek() == "b"
+
+    def test_sharedvar_get_set(self):
+        var = SharedVar(1)
+        seen = []
+
+        def body():
+            seen.append((yield from var.get()))
+            yield from var.set(2)
+            seen.append((yield from var.get()))
+
+        run_body(body)
+        assert seen == [1, 2]
+
+
+class TestSchedulingGranularity:
+    def test_each_access_is_one_transition(self):
+        """Read-modify-write as separate load/store ops loses updates —
+        the checker must be able to interleave between them."""
+        vm = VirtualMachine()
+        counter = SharedVar(0)
+
+        def incr():
+            value = yield from counter.get()
+            yield from counter.set(value + 1)
+
+        a = vm.spawn_task(incr, name="a")
+        b = vm.spawn_task(incr, name="b")
+        # Interleave: a reads 0, b reads 0, both write 1.
+        vm.step(a.tid)  # start
+        vm.step(b.tid)  # start
+        vm.step(a.tid)  # a: get -> 0
+        vm.step(b.tid)  # b: get -> 0
+        vm.step(a.tid)  # a: set 1
+        vm.step(b.tid)  # b: set 1 (lost update)
+        assert counter.peek() == 1
+
+    def test_fetch_add_is_atomic(self):
+        vm = VirtualMachine()
+        counter = AtomicCell(0)
+
+        def incr():
+            yield from counter.fetch_add(1)
+
+        a = vm.spawn_task(incr, name="a")
+        b = vm.spawn_task(incr, name="b")
+        vm.step(a.tid)
+        vm.step(b.tid)
+        vm.step(a.tid)
+        vm.step(b.tid)
+        assert counter.peek() == 2
+
+
+class TestNonScheduling:
+    def test_peek_poke(self):
+        cell = AtomicCell(1, name="c")
+        cell.poke(9)
+        assert cell.peek() == 9
+        assert cell.state_signature() == ("cell", "c", 9)
+
+    def test_ops_never_yield_or_block(self):
+        vm = VirtualMachine()
+        cell = AtomicCell(0)
+
+        def body():
+            yield from cell.load()
+            yield from cell.store(1)
+            yield from cell.compare_and_swap(1, 2)
+
+        task = vm.spawn_task(body)
+        vm.step(task.tid)
+        while not task.done:
+            assert vm.is_enabled(task.tid)
+            assert not vm.is_yielding(task.tid)
+            vm.step(task.tid)

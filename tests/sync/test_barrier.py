@@ -1,0 +1,94 @@
+"""Barrier semantics."""
+
+import pytest
+
+from repro.runtime.vm import VirtualMachine
+from repro.sync.barrier import Barrier
+
+
+def started(vm, *bodies):
+    tasks = [vm.spawn_task(body, name=f"t{i}") for i, body in enumerate(bodies)]
+    for task in tasks:
+        vm.step(task.tid)
+    return tasks
+
+
+def party(barrier, log=None, rounds=1):
+    def body():
+        for _ in range(rounds):
+            released = yield from barrier.arrive_and_wait()
+            if log is not None:
+                log.append(released)
+
+    return body
+
+
+class TestRelease:
+    def test_all_parties_block_until_last_arrives(self):
+        vm = VirtualMachine()
+        barrier = Barrier(3)
+        a, b, c = started(vm, party(barrier), party(barrier), party(barrier))
+        vm.step(a.tid)  # a arrives
+        vm.step(b.tid)  # b arrives
+        assert a.tid not in vm.enabled_threads()
+        assert b.tid not in vm.enabled_threads()
+        vm.step(c.tid)  # c arrives: generation bumps, all released
+        for task in (a, b, c):
+            assert task.tid in vm.enabled_threads()
+            vm.step(task.tid)
+            assert task.done
+
+    def test_reusable_across_generations(self):
+        vm = VirtualMachine()
+        barrier = Barrier(2)
+        a, b = started(vm, party(barrier, rounds=2), party(barrier, rounds=2))
+        # Round 1.
+        vm.step(a.tid)
+        vm.step(b.tid)
+        vm.step(a.tid)
+        vm.step(b.tid)
+        # Round 2.
+        vm.step(a.tid)
+        assert a.tid not in vm.enabled_threads()
+        vm.step(b.tid)
+        vm.step(a.tid)
+        vm.step(b.tid)
+        assert a.done and b.done
+        assert barrier._generation == 2
+
+    def test_single_party_never_blocks(self):
+        vm = VirtualMachine()
+        barrier = Barrier(1)
+        log = []
+        (a,) = started(vm, party(barrier, log))
+        vm.step(a.tid)
+        vm.step(a.tid)
+        assert a.done
+        assert log == [True]
+
+
+class TestTimeout:
+    def test_timed_wait_yields_and_times_out(self):
+        vm = VirtualMachine()
+        barrier = Barrier(2)
+        log = []
+
+        def impatient():
+            log.append((yield from barrier.arrive_and_wait(timeout=1)))
+
+        (task,) = started(vm, impatient)
+        vm.step(task.tid)  # arrive
+        assert vm.is_yielding(task.tid)
+        vm.step(task.tid)  # timeout
+        assert log == [False]
+        # The arrival still counts: a later second party releases alone.
+        assert barrier.waiting() == 1
+
+
+def test_invalid_parties():
+    with pytest.raises(ValueError):
+        Barrier(0)
+
+
+def test_signature():
+    assert Barrier(2, name="b").state_signature() == ("barrier", "b", 0, 0)

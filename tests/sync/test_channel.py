@@ -1,0 +1,178 @@
+"""Channel semantics: bounded FIFO, closing, timeouts."""
+
+import pytest
+
+from repro.runtime.errors import SyncUsageError
+from repro.runtime.vm import VirtualMachine
+from repro.sync.channel import Channel
+
+
+def started(vm, *bodies):
+    tasks = [vm.spawn_task(body, name=f"t{i}") for i, body in enumerate(bodies)]
+    for task in tasks:
+        vm.step(task.tid)
+    return tasks
+
+
+class TestFifo:
+    def test_order_preserved(self):
+        vm = VirtualMachine()
+        chan = Channel()
+        received = []
+
+        def producer():
+            for i in range(3):
+                yield from chan.send(i)
+
+        def consumer():
+            for _ in range(3):
+                ok, item = yield from chan.recv()
+                received.append((ok, item))
+
+        p, c = started(vm, producer, consumer)
+        for _ in range(3):
+            vm.step(p.tid)
+        for _ in range(3):
+            vm.step(c.tid)
+        assert received == [(True, 0), (True, 1), (True, 2)]
+
+    def test_recv_blocks_on_empty(self):
+        vm = VirtualMachine()
+        chan = Channel()
+
+        def consumer():
+            yield from chan.recv()
+
+        (c,) = started(vm, consumer)
+        assert c.tid not in vm.enabled_threads()
+
+    def test_bounded_send_blocks_when_full(self):
+        vm = VirtualMachine()
+        chan = Channel(capacity=1)
+
+        def producer():
+            yield from chan.send("a")
+            yield from chan.send("b")
+
+        (p,) = started(vm, producer)
+        vm.step(p.tid)
+        assert chan.size() == 1
+        assert p.tid not in vm.enabled_threads()
+
+    def test_recv_unblocks_full_sender(self):
+        vm = VirtualMachine()
+        chan = Channel(capacity=1)
+
+        def producer():
+            yield from chan.send("a")
+            yield from chan.send("b")
+
+        def consumer():
+            yield from chan.recv()
+
+        p, c = started(vm, producer, consumer)
+        vm.step(p.tid)
+        assert p.tid not in vm.enabled_threads()
+        vm.step(c.tid)
+        assert p.tid in vm.enabled_threads()
+
+
+class TestClose:
+    def test_recv_on_closed_drained_returns_eof(self):
+        vm = VirtualMachine()
+        chan = Channel()
+        results = []
+
+        def body():
+            yield from chan.send(1)
+            yield from chan.close()
+            results.append((yield from chan.recv()))
+            results.append((yield from chan.recv()))
+
+        (t,) = started(vm, body)
+        while not t.done:
+            vm.step(t.tid)
+        assert results == [(True, 1), (False, None)]
+
+    def test_send_on_closed_is_violation(self):
+        vm = VirtualMachine()
+        chan = Channel()
+
+        def body():
+            yield from chan.close()
+            yield from chan.send(1)
+
+        (t,) = started(vm, body)
+        vm.step(t.tid)
+        with pytest.raises(SyncUsageError):
+            vm.step(t.tid)
+
+    def test_close_wakes_blocked_receiver(self):
+        vm = VirtualMachine()
+        chan = Channel()
+
+        def consumer():
+            yield from chan.recv()
+
+        def closer():
+            yield from chan.close()
+
+        c, k = started(vm, consumer, closer)
+        assert c.tid not in vm.enabled_threads()
+        vm.step(k.tid)
+        assert c.tid in vm.enabled_threads()
+
+
+class TestNonBlockingAndTimeouts:
+    def test_try_recv_yields_when_empty(self):
+        vm = VirtualMachine()
+        chan = Channel()
+        results = []
+
+        def body():
+            results.append((yield from chan.try_recv()))
+
+        (t,) = started(vm, body)
+        assert vm.is_yielding(t.tid)
+        vm.step(t.tid)
+        assert results == [(False, None)]
+
+    def test_try_send_yields_when_full(self):
+        vm = VirtualMachine()
+        chan = Channel(capacity=1)
+        results = []
+
+        def body():
+            yield from chan.send("x")
+            results.append((yield from chan.try_send("y")))
+
+        (t,) = started(vm, body)
+        vm.step(t.tid)
+        assert vm.is_yielding(t.tid)
+        vm.step(t.tid)
+        assert results == [False]
+        assert chan.size() == 1
+
+    def test_timed_send_succeeds_with_space(self):
+        vm = VirtualMachine()
+        chan = Channel(capacity=1)
+        results = []
+
+        def body():
+            results.append((yield from chan.send("x", timeout=5)))
+
+        (t,) = started(vm, body)
+        assert not vm.is_yielding(t.tid)
+        vm.step(t.tid)
+        assert results == [True]
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        Channel(capacity=0)
+
+
+def test_signature_and_counters():
+    chan = Channel(name="c")
+    assert chan.state_signature() == ("chan", "c", (), False)
+    assert chan.total_sent() == 0

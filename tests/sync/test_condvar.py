@@ -1,0 +1,183 @@
+"""Condition variable semantics: wait/notify phases, lost wakeups."""
+
+import pytest
+
+from repro.runtime.api import pause
+from repro.runtime.errors import SyncUsageError
+from repro.runtime.vm import VirtualMachine
+from repro.sync.condvar import CondVar
+from repro.sync.mutex import Mutex
+
+
+def started(vm, *named_bodies):
+    tasks = [vm.spawn_task(body, name=name) for name, body in named_bodies]
+    for task in tasks:
+        vm.step(task.tid)
+    return tasks
+
+
+def make_pair():
+    lock = Mutex(name="m")
+    cond = CondVar(lock, name="cv")
+    return lock, cond
+
+
+class TestWaitNotify:
+    def test_wait_releases_lock_and_blocks(self):
+        vm = VirtualMachine()
+        lock, cond = make_pair()
+
+        def waiter():
+            yield from lock.acquire()
+            yield from cond.wait()
+            yield from lock.release()
+
+        (w,) = started(vm, ("w", waiter))
+        vm.step(w.tid)  # acquire
+        vm.step(w.tid)  # wait phase 1: release + enqueue
+        assert not lock.held()
+        assert cond.waiter_count() == 1
+        assert w.tid not in vm.enabled_threads()  # blocked for notify
+
+    def test_notify_wakes_and_reacquires(self):
+        vm = VirtualMachine()
+        lock, cond = make_pair()
+        got = []
+
+        def waiter():
+            yield from lock.acquire()
+            notified = yield from cond.wait()
+            got.append(notified)
+            yield from lock.release()
+
+        def notifier():
+            yield from lock.acquire()
+            yield from cond.notify()
+            yield from lock.release()
+
+        w, n = started(vm, ("w", waiter), ("n", notifier))
+        vm.step(w.tid)  # w: acquire
+        vm.step(w.tid)  # w: release+enqueue
+        vm.step(n.tid)  # n: acquire
+        vm.step(n.tid)  # n: notify
+        assert w.tid in vm.enabled_threads()
+        vm.step(w.tid)  # w: woken, returns from block phase
+        # w must reacquire the mutex, currently held by n: blocked.
+        assert w.tid not in vm.enabled_threads()
+        vm.step(n.tid)  # n: release
+        vm.step(w.tid)  # w: reacquire
+        vm.step(w.tid)  # w: release
+        assert got == [True]
+
+    def test_notify_without_waiters_is_lost(self):
+        """Notifications are not remembered — the lost-wakeup behavior
+        real condvars have, which the checker must be able to explore."""
+        vm = VirtualMachine()
+        lock, cond = make_pair()
+
+        def notifier():
+            yield from lock.acquire()
+            yield from cond.notify()
+            yield from lock.release()
+
+        def waiter():
+            yield from lock.acquire()
+            yield from cond.wait()
+            yield from lock.release()
+
+        n, w = started(vm, ("n", notifier), ("w", waiter))
+        for _ in range(3):
+            vm.step(n.tid)  # the notify happens first and is lost
+        vm.step(w.tid)
+        vm.step(w.tid)
+        assert w.tid not in vm.enabled_threads()  # waits forever
+
+    def test_notify_all(self):
+        vm = VirtualMachine()
+        lock, cond = make_pair()
+
+        def waiter():
+            yield from lock.acquire()
+            yield from cond.wait()
+            yield from lock.release()
+
+        def notifier():
+            yield from lock.acquire()
+            yield from cond.notify_all()
+            yield from lock.release()
+
+        a, b, n = started(vm, ("a", waiter), ("b", waiter), ("n", notifier))
+        vm.step(a.tid)
+        vm.step(a.tid)
+        vm.step(b.tid)
+        vm.step(b.tid)
+        assert cond.waiter_count() == 2
+        vm.step(n.tid)
+        vm.step(n.tid)
+        assert cond.waiter_count() == 0
+        assert a.tid in vm.enabled_threads()
+        assert b.tid in vm.enabled_threads()
+
+    def test_notify_is_fifo(self):
+        vm = VirtualMachine()
+        lock, cond = make_pair()
+
+        def waiter():
+            yield from lock.acquire()
+            yield from cond.wait()
+            yield from lock.release()
+
+        def notifier():
+            yield from lock.acquire()
+            yield from cond.notify()
+            yield from lock.release()
+
+        a, b, n = started(vm, ("a", waiter), ("b", waiter), ("n", notifier))
+        for task in (a, b):
+            vm.step(task.tid)
+            vm.step(task.tid)
+        vm.step(n.tid)
+        vm.step(n.tid)  # notify exactly one: the first waiter
+        assert a.tid in vm.enabled_threads()
+        assert b.tid not in vm.enabled_threads()
+
+
+class TestMisuse:
+    def test_wait_without_lock_is_violation(self):
+        vm = VirtualMachine()
+        lock, cond = make_pair()
+
+        def body():
+            yield from cond.wait()
+
+        (task,) = started(vm, ("t", body))
+        with pytest.raises(SyncUsageError):
+            vm.step(task.tid)
+
+
+class TestTimeout:
+    def test_timed_wait_can_time_out_and_reacquires(self):
+        vm = VirtualMachine()
+        lock, cond = make_pair()
+        got = []
+
+        def waiter():
+            yield from lock.acquire()
+            notified = yield from cond.wait(timeout=3)
+            got.append(notified)
+            yield from lock.release()
+
+        (w,) = started(vm, ("w", waiter))
+        vm.step(w.tid)  # acquire
+        vm.step(w.tid)  # release + enqueue
+        assert vm.is_yielding(w.tid)  # would time out: yielding op
+        vm.step(w.tid)  # timeout fires
+        vm.step(w.tid)  # reacquire
+        vm.step(w.tid)  # release
+        assert got == [False]
+        assert cond.waiter_count() == 0
+
+
+def test_signature():
+    lock, cond = make_pair()
+    assert cond.state_signature() == ("cond", "cv", (), ())

@@ -1,0 +1,104 @@
+"""Event semantics (manual- and auto-reset)."""
+
+from repro.runtime.vm import VirtualMachine
+from repro.sync.event import Event
+
+
+def started(vm, *bodies):
+    tasks = [vm.spawn_task(body, name=f"t{i}") for i, body in enumerate(bodies)]
+    for task in tasks:
+        vm.step(task.tid)
+    return tasks
+
+
+class TestManualReset:
+    def test_wait_blocks_until_set(self):
+        vm = VirtualMachine()
+        event = Event()
+
+        def waiter():
+            yield from event.wait()
+
+        def setter():
+            yield from event.set()
+
+        w, s = started(vm, waiter, setter)
+        assert w.tid not in vm.enabled_threads()
+        vm.step(s.tid)
+        assert w.tid in vm.enabled_threads()
+        vm.step(w.tid)
+        assert w.done
+
+    def test_stays_signaled_for_multiple_waiters(self):
+        vm = VirtualMachine()
+        event = Event(signaled=True)
+
+        def waiter():
+            yield from event.wait()
+
+        a, b = started(vm, waiter, waiter)
+        vm.step(a.tid)
+        vm.step(b.tid)
+        assert a.done and b.done
+        assert event.is_signaled()
+
+    def test_reset(self):
+        vm = VirtualMachine()
+        event = Event(signaled=True)
+
+        def body():
+            yield from event.reset()
+
+        (task,) = started(vm, body)
+        vm.step(task.tid)
+        assert not event.is_signaled()
+
+
+class TestAutoReset:
+    def test_one_waiter_consumes_signal(self):
+        vm = VirtualMachine()
+        event = Event(signaled=True, auto_reset=True)
+
+        def waiter():
+            yield from event.wait()
+
+        a, b = started(vm, waiter, waiter)
+        assert vm.enabled_threads() == frozenset({a.tid, b.tid})
+        vm.step(a.tid)
+        assert a.done
+        assert not event.is_signaled()
+        # The second waiter lost the race and is now blocked.
+        assert b.tid not in vm.enabled_threads()
+
+
+class TestTimeouts:
+    def test_wait_timeout_yields_when_unsignaled(self):
+        vm = VirtualMachine()
+        event = Event()
+        results = []
+
+        def body():
+            results.append((yield from event.wait(timeout=2)))
+
+        (task,) = started(vm, body)
+        assert task.tid in vm.enabled_threads()
+        assert vm.is_yielding(task.tid)
+        vm.step(task.tid)
+        assert results == [False]
+
+    def test_wait_timeout_not_yielding_when_signaled(self):
+        vm = VirtualMachine()
+        event = Event(signaled=True)
+        results = []
+
+        def body():
+            results.append((yield from event.wait(timeout=2)))
+
+        (task,) = started(vm, body)
+        assert not vm.is_yielding(task.tid)
+        vm.step(task.tid)
+        assert results == [True]
+
+
+def test_signature():
+    assert Event(name="e").state_signature() == ("event", "e", False)

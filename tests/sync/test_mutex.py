@@ -1,0 +1,193 @@
+"""Mutex semantics: blocking, try-acquire yield inference, misuse."""
+
+import pytest
+
+from repro.engine.results import Outcome
+from repro.runtime.api import pause
+from repro.runtime.errors import SyncUsageError
+from repro.runtime.program import VMProgram
+from repro.runtime.vm import VirtualMachine
+from repro.sync.mutex import Mutex
+
+from tests.helpers import run_once
+
+
+def start(vm, *bodies):
+    tasks = [vm.spawn_task(body, name=f"t{i}") for i, body in enumerate(bodies)]
+    for task in tasks:
+        vm.step(task.tid)  # execute start transitions
+    return tasks
+
+
+class TestAcquireRelease:
+    def test_acquire_sets_owner(self):
+        vm = VirtualMachine()
+        lock = Mutex(name="L")
+
+        def body():
+            yield from lock.acquire()
+            yield from lock.release()
+
+        (task,) = start(vm, body)
+        vm.step(task.tid)
+        assert lock.held()
+        assert lock.held_by(task)
+        assert lock.owner_name() == "t0"
+        vm.step(task.tid)
+        assert not lock.held()
+
+    def test_contender_disabled_until_release(self):
+        vm = VirtualMachine()
+        lock = Mutex()
+
+        def holder():
+            yield from lock.acquire()
+            yield from pause()
+            yield from lock.release()
+
+        def contender():
+            yield from lock.acquire()
+            yield from lock.release()
+
+        h, c = start(vm, holder, contender)
+        vm.step(h.tid)  # acquire
+        assert vm.enabled_threads() == frozenset({h.tid})
+        vm.step(h.tid)  # pause
+        vm.step(h.tid)  # release
+        assert c.tid in vm.enabled_threads()
+
+    def test_release_unowned_is_violation(self):
+        vm = VirtualMachine()
+        lock = Mutex(name="L")
+
+        def body():
+            yield from lock.release()
+
+        (task,) = start(vm, body)
+        with pytest.raises(SyncUsageError):
+            vm.step(task.tid)
+
+    def test_release_someone_elses_lock_is_violation(self):
+        vm = VirtualMachine()
+        lock = Mutex()
+
+        def holder():
+            yield from lock.acquire()
+            yield from pause()
+            yield from lock.release()
+
+        def thief():
+            yield from lock.release()
+
+        h, t = start(vm, holder, thief)
+        vm.step(h.tid)
+        with pytest.raises(SyncUsageError):
+            vm.step(t.tid)
+
+    def test_self_deadlock_on_reacquire(self):
+        def setup(env):
+            lock = Mutex()
+
+            def body():
+                yield from lock.acquire()
+                yield from lock.acquire()
+
+            env.spawn(body, name="d")
+
+        record = run_once(VMProgram(setup))
+        assert record.outcome is Outcome.DEADLOCK
+
+
+class TestTryAcquire:
+    def test_try_acquire_success_and_failure(self):
+        vm = VirtualMachine()
+        lock = Mutex()
+        results = []
+
+        def body():
+            results.append((yield from lock.try_acquire()))
+            results.append((yield from lock.try_acquire()))
+
+        (task,) = start(vm, body)
+        vm.step(task.tid)
+        vm.step(task.tid)
+        assert results == [True, False]
+
+    def test_failing_try_acquire_is_yielding(self):
+        """A failing TryAcquire is a zero-timeout wait, hence a yield."""
+        vm = VirtualMachine()
+        lock = Mutex()
+
+        def holder():
+            yield from lock.acquire()
+            yield from pause()
+            yield from lock.release()
+
+        def prober():
+            yield from lock.try_acquire()
+
+        h, p = start(vm, holder, prober)
+        assert not vm.is_yielding(p.tid)  # lock free: would succeed
+        vm.step(h.tid)  # holder acquires
+        assert vm.is_yielding(p.tid)  # would fail: yields
+
+    def test_try_acquire_always_enabled(self):
+        vm = VirtualMachine()
+        lock = Mutex()
+
+        def holder():
+            yield from lock.acquire()
+            yield from pause()
+            yield from lock.release()
+
+        def prober():
+            yield from lock.try_acquire()
+
+        h, p = start(vm, holder, prober)
+        vm.step(h.tid)
+        assert p.tid in vm.enabled_threads()
+
+
+class TestTimeout:
+    def test_acquire_with_timeout_enabled_when_held(self):
+        vm = VirtualMachine()
+        lock = Mutex()
+        outcome = []
+
+        def holder():
+            yield from lock.acquire()
+            yield from pause()
+            yield from lock.release()
+
+        def impatient():
+            outcome.append((yield from lock.acquire(timeout=5)))
+
+        h, i = start(vm, holder, impatient)
+        vm.step(h.tid)  # lock held
+        assert i.tid in vm.enabled_threads()
+        assert vm.is_yielding(i.tid)  # would time out: yields
+        vm.step(i.tid)
+        assert outcome == [False]
+
+    def test_acquire_with_timeout_succeeds_when_free(self):
+        vm = VirtualMachine()
+        lock = Mutex()
+        outcome = []
+
+        def body():
+            outcome.append((yield from lock.acquire(timeout=5)))
+
+        (task,) = start(vm, body)
+        assert not vm.is_yielding(task.tid)
+        vm.step(task.tid)
+        assert outcome == [True]
+        assert lock.held_by(task)
+
+
+def test_state_signature_tracks_owner():
+    lock = Mutex(name="L")
+    assert lock.state_signature() == ("mutex", "L", None)
+
+
+def test_auto_names_unique():
+    assert Mutex().name != Mutex().name

@@ -1,0 +1,131 @@
+"""Reader–writer lock semantics."""
+
+import pytest
+
+from repro.runtime.api import pause
+from repro.runtime.errors import SyncUsageError
+from repro.runtime.vm import VirtualMachine
+from repro.sync.rwlock import RWLock
+
+
+def started(vm, *bodies):
+    tasks = [vm.spawn_task(body, name=f"t{i}") for i, body in enumerate(bodies)]
+    for task in tasks:
+        vm.step(task.tid)
+    return tasks
+
+
+def reader(lock):
+    def body():
+        yield from lock.acquire_read()
+        yield from pause()
+        yield from lock.release_read()
+
+    return body
+
+
+def writer(lock):
+    def body():
+        yield from lock.acquire_write()
+        yield from pause()
+        yield from lock.release_write()
+
+    return body
+
+
+class TestSharing:
+    def test_multiple_readers_allowed(self):
+        vm = VirtualMachine()
+        lock = RWLock()
+        a, b = started(vm, reader(lock), reader(lock))
+        vm.step(a.tid)
+        vm.step(b.tid)
+        assert lock.reader_count() == 2
+
+    def test_writer_excludes_readers(self):
+        vm = VirtualMachine()
+        lock = RWLock()
+        w, r = started(vm, writer(lock), reader(lock))
+        vm.step(w.tid)  # writer in
+        assert lock.has_writer()
+        assert r.tid not in vm.enabled_threads()
+        vm.step(w.tid)  # pause
+        vm.step(w.tid)  # release
+        assert r.tid in vm.enabled_threads()
+
+    def test_readers_exclude_writer(self):
+        vm = VirtualMachine()
+        lock = RWLock()
+        r, w = started(vm, reader(lock), writer(lock))
+        vm.step(r.tid)
+        assert w.tid not in vm.enabled_threads()
+        vm.step(r.tid)
+        vm.step(r.tid)  # release read
+        assert w.tid in vm.enabled_threads()
+
+    def test_writer_excludes_writer(self):
+        vm = VirtualMachine()
+        lock = RWLock()
+        a, b = started(vm, writer(lock), writer(lock))
+        vm.step(a.tid)
+        assert b.tid not in vm.enabled_threads()
+
+
+class TestTimeouts:
+    def test_timed_read_acquire_yields_under_writer(self):
+        vm = VirtualMachine()
+        lock = RWLock()
+        results = []
+
+        def impatient_reader():
+            results.append((yield from lock.acquire_read(timeout=1)))
+
+        w, r = started(vm, writer(lock), impatient_reader)
+        vm.step(w.tid)
+        assert r.tid in vm.enabled_threads()
+        assert vm.is_yielding(r.tid)
+        vm.step(r.tid)
+        assert results == [False]
+
+    def test_timed_write_acquire_yields_under_readers(self):
+        vm = VirtualMachine()
+        lock = RWLock()
+        results = []
+
+        def impatient_writer():
+            results.append((yield from lock.acquire_write(timeout=1)))
+
+        r, w = started(vm, reader(lock), impatient_writer)
+        vm.step(r.tid)
+        assert vm.is_yielding(w.tid)
+        vm.step(w.tid)
+        assert results == [False]
+
+
+class TestMisuse:
+    def test_release_read_not_held(self):
+        vm = VirtualMachine()
+        lock = RWLock()
+
+        def body():
+            yield from lock.release_read()
+
+        (task,) = started(vm, body)
+        with pytest.raises(SyncUsageError):
+            vm.step(task.tid)
+
+    def test_release_write_not_held(self):
+        vm = VirtualMachine()
+        lock = RWLock()
+
+        def body():
+            yield from lock.release_write()
+
+        (task,) = started(vm, body)
+        with pytest.raises(SyncUsageError):
+            vm.step(task.tid)
+
+
+def test_signature():
+    lock = RWLock(name="rw")
+    assert lock.state_signature() == ("rwlock", "rw", (), None)

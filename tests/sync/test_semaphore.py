@@ -1,0 +1,121 @@
+"""Semaphore semantics."""
+
+import pytest
+
+from repro.runtime.errors import SyncUsageError
+from repro.runtime.vm import VirtualMachine
+from repro.sync.semaphore import Semaphore
+
+
+def started(vm, *bodies):
+    tasks = [vm.spawn_task(body, name=f"t{i}") for i, body in enumerate(bodies)]
+    for task in tasks:
+        vm.step(task.tid)
+    return tasks
+
+
+class TestWait:
+    def test_wait_decrements(self):
+        vm = VirtualMachine()
+        sem = Semaphore(2)
+
+        def body():
+            yield from sem.wait()
+            yield from sem.wait()
+
+        (task,) = started(vm, body)
+        vm.step(task.tid)
+        assert sem.count() == 1
+        vm.step(task.tid)
+        assert sem.count() == 0
+
+    def test_wait_blocks_at_zero(self):
+        vm = VirtualMachine()
+        sem = Semaphore(0)
+
+        def body():
+            yield from sem.wait()
+
+        (task,) = started(vm, body)
+        assert task.tid not in vm.enabled_threads()
+
+    def test_release_wakes_waiter(self):
+        vm = VirtualMachine()
+        sem = Semaphore(0)
+
+        def waiter():
+            yield from sem.wait()
+
+        def releaser():
+            yield from sem.release()
+
+        w, r = started(vm, waiter, releaser)
+        assert w.tid not in vm.enabled_threads()
+        vm.step(r.tid)
+        assert w.tid in vm.enabled_threads()
+
+    def test_wait_with_timeout_enabled_and_yielding_at_zero(self):
+        vm = VirtualMachine()
+        sem = Semaphore(0)
+        results = []
+
+        def body():
+            results.append((yield from sem.wait(timeout=1)))
+
+        (task,) = started(vm, body)
+        assert task.tid in vm.enabled_threads()
+        assert vm.is_yielding(task.tid)
+        vm.step(task.tid)
+        assert results == [False]
+
+    def test_wait_with_timeout_not_yielding_when_available(self):
+        vm = VirtualMachine()
+        sem = Semaphore(1)
+
+        def body():
+            yield from sem.wait(timeout=1)
+
+        (task,) = started(vm, body)
+        assert not vm.is_yielding(task.tid)
+
+
+class TestRelease:
+    def test_release_n(self):
+        vm = VirtualMachine()
+        sem = Semaphore(0)
+
+        def body():
+            yield from sem.release(3)
+
+        (task,) = started(vm, body)
+        vm.step(task.tid)
+        assert sem.count() == 3
+
+    def test_release_over_maximum_is_violation(self):
+        vm = VirtualMachine()
+        sem = Semaphore(1, maximum=1)
+
+        def body():
+            yield from sem.release()
+
+        (task,) = started(vm, body)
+        with pytest.raises(SyncUsageError):
+            vm.step(task.tid)
+
+    def test_release_nonpositive_rejected(self):
+        sem = Semaphore(0)
+        with pytest.raises(ValueError):
+            list(sem.release(0))
+
+
+class TestConstruction:
+    def test_negative_initial_rejected(self):
+        with pytest.raises(ValueError):
+            Semaphore(-1)
+
+    def test_initial_over_maximum_rejected(self):
+        with pytest.raises(ValueError):
+            Semaphore(3, maximum=2)
+
+    def test_signature(self):
+        assert Semaphore(2, name="s").state_signature() == ("sem", "s", 2)

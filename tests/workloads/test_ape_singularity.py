@@ -1,0 +1,59 @@
+"""APE and mini-Singularity workload tests."""
+
+from repro.checker import check
+from repro.workloads.ape import ape_program
+from repro.workloads.singularity import singularity_boot
+
+
+class TestApe:
+    def test_exhaustive_small_config(self):
+        result = check(ape_program(items=1, workers=1), depth_bound=300,
+                       preemption_bound=2)
+        assert result.ok
+        assert result.exploration.complete
+
+    def test_two_workers_capped(self):
+        result = check(ape_program(items=2, workers=2), depth_bound=400,
+                       preemption_bound=1, max_executions=4000)
+        assert result.ok
+
+    def test_random_runs(self):
+        result = check(ape_program(items=3, workers=2), strategy="random",
+                       random_executions=15, depth_bound=3000)
+        assert result.ok
+
+    def test_nonterminating_without_fairness(self):
+        """The worker idle loops make APE nonterminating: unfair
+        depth-bounded search hits the bound."""
+        result = check(ape_program(items=1, workers=1), fairness=False,
+                       depth_bound=40, max_executions=3000)
+        assert result.exploration.nonterminating_executions > 0
+
+
+class TestSingularity:
+    def test_boot_under_the_checker(self):
+        """The headline result in miniature: systematic testing of the
+        entire boot + shutdown under fair scheduling."""
+        result = check(singularity_boot(apps=1), depth_bound=600,
+                       preemption_bound=1, max_executions=4000)
+        assert result.ok
+
+    def test_boot_random_schedules(self):
+        result = check(singularity_boot(apps=2, requests_per_app=2),
+                       strategy="random", random_executions=15,
+                       depth_bound=5000)
+        assert result.ok
+
+    def test_boot_is_nonterminating_without_fairness(self):
+        result = check(singularity_boot(apps=1), fairness=False,
+                       depth_bound=60, max_executions=2000)
+        assert result.exploration.nonterminating_executions > 0
+
+    def test_thread_count_scales_with_apps(self):
+        from repro.engine.executor import ExecutorConfig, GuidedChooser, run_execution
+        from repro.core.policies import FairPolicy
+
+        program = singularity_boot(apps=3)
+        instance = program.instantiate()
+        # 3 services + 3 apps + idle + boot controller = 8 threads.
+        assert len(instance.thread_ids()) == 8

@@ -1,0 +1,100 @@
+"""MSI cache-coherence workload tests."""
+
+import pytest
+
+from repro.checker import check
+from repro.engine.results import DivergenceKind
+from repro.workloads.coherence import CoherentSystem, coherence_program
+
+WRITERS_ONLY = [[("w", 10)], [("w", 20)]]
+
+
+class TestProtocolUnit:
+    def run_alone(self, system, body):
+        from repro.runtime.vm import VirtualMachine
+
+        vm = VirtualMachine()
+        task = vm.spawn_task(body, name="t")
+        while vm.enabled_threads():
+            vm.step(task.tid)
+        assert not task.failed, task.exception
+
+    def test_read_miss_loads_shared(self):
+        system = CoherentSystem(2)
+        values = []
+
+        def body():
+            values.append((yield from system.read(0)))
+
+        self.run_alone(system, body)
+        assert values == [0]
+        assert system.lines[0].state == "S"
+
+    def test_write_invalidates_peers(self):
+        system = CoherentSystem(2)
+
+        def body():
+            yield from system.read(1)  # cache1 shared
+            yield from system.write(0, 7)
+
+        self.run_alone(system, body)
+        assert system.lines[0].state == "M"
+        assert system.lines[0].value == 7
+        assert system.lines[1].state == "I"
+
+    def test_read_after_peer_write_gets_writeback(self):
+        system = CoherentSystem(2)
+        values = []
+
+        def body():
+            yield from system.write(0, 42)
+            values.append((yield from system.read(1)))
+
+        self.run_alone(system, body)
+        assert values == [42]
+        assert system.lines[0].state == "S"  # downgraded by the snoop
+        assert system.memory.peek() == 42
+
+    def test_unknown_bug_rejected(self):
+        with pytest.raises(ValueError):
+            CoherentSystem(2, bug="meltdown")
+
+
+class TestCheckedProtocol:
+    def test_default_harness_passes(self):
+        result = check(coherence_program(), depth_bound=300,
+                       preemption_bound=2, max_executions=10_000)
+        assert result.ok
+
+    def test_writers_only_passes(self):
+        result = check(coherence_program(WRITERS_ONLY), depth_bound=300,
+                       max_executions=10_000)
+        assert result.ok
+
+    def test_invariants_hold_under_random_search(self):
+        result = check(
+            coherence_program([[("r", None), ("w", 1)], [("w", 2)],
+                               [("r", None), ("r", None)]]),
+            strategy="random", random_executions=300, depth_bound=2000,
+        )
+        assert result.ok
+
+
+class TestUpgradeLivelock:
+    def test_polite_writers_livelock(self):
+        """Two writers that defer to each other's write intent spin
+        forever — a protocol livelock, fair by construction."""
+        result = check(coherence_program(WRITERS_ONLY,
+                                         bug="upgrade-livelock"),
+                       depth_bound=300, max_seconds=60)
+        assert not result.ok
+        record = result.livelock
+        assert record is not None
+        assert record.divergence.kind is DivergenceKind.LIVELOCK
+        assert set(record.divergence.culprits) == {"cache0", "cache1"}
+
+    def test_single_writer_cannot_livelock(self):
+        result = check(coherence_program([[("w", 10)]],
+                                         bug="upgrade-livelock"),
+                       depth_bound=300, max_executions=5000)
+        assert result.ok

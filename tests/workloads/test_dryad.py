@@ -1,0 +1,114 @@
+"""Dryad-channel workload tests (Table 3 bug reproductions)."""
+
+from repro.checker import check
+from repro.workloads.dryad_channels import (
+    FifoChannel,
+    dryad_fifo,
+    dryad_pipeline,
+)
+
+
+class TestCorrectPipeline:
+    def test_cb1_exhaustive_or_capped_pass(self):
+        result = check(dryad_pipeline(items=1, capacity=1, transforms=0),
+                       depth_bound=300, preemption_bound=1,
+                       max_executions=5000)
+        assert result.ok
+
+    def test_random_runs_pass(self):
+        result = check(dryad_pipeline(items=3, capacity=1, transforms=1),
+                       strategy="random", random_executions=15,
+                       depth_bound=3000)
+        assert result.ok
+
+    def test_fifo_lanes_pass(self):
+        result = check(dryad_fifo(width=2, items=1), strategy="random",
+                       random_executions=10, depth_bound=3000)
+        assert result.ok
+
+
+class TestSeededBugs:
+    def test_bug1_check_then_act_pop(self):
+        result = check(
+            dryad_pipeline(items=1, capacity=1, transforms=0, sinks=2,
+                           bug=1),
+            depth_bound=300, preemption_bound=2, max_seconds=60,
+        )
+        assert result.violation is not None
+
+    def test_bug2_capacity_race(self):
+        result = check(
+            dryad_pipeline(items=2, capacity=1, transforms=0, sources=2,
+                           bug=2),
+            strategy="random", random_executions=2000, depth_bound=400,
+            seed=11,
+        )
+        assert result.violation is not None
+        assert "capacity" in str(result.violation.violation)
+
+    def test_bug3_lost_items_at_shutdown(self):
+        result = check(dryad_pipeline(items=2, capacity=2, transforms=0,
+                                      bug=3),
+                       depth_bound=300, preemption_bound=2, max_seconds=30)
+        assert result.violation is not None
+
+    def test_bug4_fix_deadlocks(self):
+        result = check(
+            dryad_pipeline(items=1, capacity=1, transforms=0, sinks=2,
+                           bug=4),
+            depth_bound=300, preemption_bound=2, max_seconds=30,
+        )
+        record = result.violation
+        assert record is not None
+        # Bug 4 manifests as a deadlock (lock held at return).
+        assert record.violation is None
+
+    def test_parallel_endpoints_rejected_with_transforms(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            dryad_pipeline(transforms=1, sources=2)
+
+
+class TestChannelUnit:
+    def run_sequential(self, body):
+        from repro.runtime.vm import VirtualMachine
+
+        vm = VirtualMachine()
+        task = vm.spawn_task(body, name="t")
+        while vm.enabled_threads():
+            vm.step(task.tid)
+        assert not task.failed, task.exception
+
+    def test_send_recv_close_cycle(self):
+        channel = FifoChannel(capacity=2)
+        log = []
+
+        def body():
+            yield from channel.send("x")
+            yield from channel.send("y")
+            yield from channel.close()
+            log.append((yield from channel.recv()))
+            log.append((yield from channel.recv()))
+            log.append((yield from channel.recv()))
+
+        self.run_sequential(body)
+        assert log == [(True, "x"), (True, "y"), (False, None)]
+
+    def test_send_on_closed_is_violation(self):
+        import pytest
+
+        from repro.runtime.errors import AssertionViolation
+        from repro.runtime.vm import VirtualMachine
+
+        channel = FifoChannel()
+
+        def body():
+            yield from channel.close()
+            yield from channel.send(1)
+
+        vm = VirtualMachine()
+        task = vm.spawn_task(body, name="t")
+        with pytest.raises(AssertionViolation):
+            while vm.enabled_threads():
+                vm.step(task.tid)

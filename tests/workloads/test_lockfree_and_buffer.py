@@ -1,0 +1,131 @@
+"""Treiber stack (ABA) and bounded buffer (condvar bugs) tests."""
+
+import pytest
+
+from repro.checker import check
+from repro.runtime.vm import VirtualMachine
+from repro.workloads.boundedbuffer import BoundedBuffer, bounded_buffer_program
+from repro.workloads.lockfree import TreiberStack, treiber_stack_program
+
+
+def run_alone(body):
+    vm = VirtualMachine()
+    task = vm.spawn_task(body, name="t")
+    while vm.enabled_threads():
+        vm.step(task.tid)
+    assert not task.failed, task.exception
+    return task
+
+
+class TestTreiberUnit:
+    def test_lifo_order(self):
+        stack = TreiberStack()
+        popped = []
+
+        def body():
+            yield from stack.push("a")
+            yield from stack.push("b")
+            popped.append((yield from stack.pop()))
+            popped.append((yield from stack.pop()))
+            popped.append((yield from stack.pop()))
+
+        run_alone(body)
+        assert popped == [(True, "b"), (True, "a"), (False, None)]
+
+    def test_free_list_recycles_nodes(self):
+        stack = TreiberStack(reuse_nodes=True)
+        nodes = []
+
+        def body():
+            yield from stack.push("a")
+            nodes.append(stack.head.peek())
+            yield from stack.pop()
+            yield from stack.push("b")
+            nodes.append(stack.head.peek())
+
+        run_alone(body)
+        assert nodes[0] is nodes[1]  # same object, different value
+
+    def test_snapshot(self):
+        stack = TreiberStack()
+
+        def body():
+            yield from stack.push(1)
+            yield from stack.push(2)
+
+        run_alone(body)
+        assert stack.snapshot() == (2, 1)
+
+
+class TestTreiberChecked:
+    def test_fresh_nodes_pass(self):
+        result = check(treiber_stack_program(items=1, poppers=2),
+                       depth_bound=300, preemption_bound=1,
+                       max_executions=8000)
+        assert result.ok
+
+    def test_aba_found_with_reuse(self):
+        """The ABA corruption loses a node; the poppers then spin
+        (politely, with yields) waiting for values that will never come —
+        the checker reports it as a livelock, a *liveness* consequence of
+        a memory-reuse race that no safety check ever fires on."""
+        result = check(
+            treiber_stack_program(items=3, poppers=2, reuse_nodes=True),
+            strategy="random", random_executions=5000, depth_bound=600,
+            seed=3,
+        )
+        assert not result.ok
+        assert result.violation is not None or result.livelock is not None
+
+    def test_fresh_nodes_survive_the_same_schedules(self):
+        result = check(
+            treiber_stack_program(items=3, poppers=2, reuse_nodes=False),
+            strategy="random", random_executions=1000, depth_bound=600,
+            seed=3,
+        )
+        assert result.ok
+
+
+class TestBoundedBufferUnit:
+    def test_put_take_roundtrip(self):
+        buffer = BoundedBuffer(capacity=2)
+        out = []
+
+        def body():
+            yield from buffer.put("x")
+            yield from buffer.put("y")
+            out.append((yield from buffer.take()))
+            out.append((yield from buffer.take()))
+
+        run_alone(body)
+        assert out == ["x", "y"]
+
+    def test_unknown_bug_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedBuffer(bug="nonsense")
+
+
+class TestBoundedBufferChecked:
+    def test_correct_version_passes(self):
+        result = check(
+            bounded_buffer_program(items=2, consumers=2, capacity=1),
+            depth_bound=400, preemption_bound=2, max_executions=8000,
+        )
+        assert result.ok
+
+    def test_if_instead_of_while_found(self):
+        result = check(
+            bounded_buffer_program(items=2, consumers=2, capacity=2,
+                                   bug="if", notify_all=True),
+            depth_bound=400, preemption_bound=2, max_seconds=60,
+        )
+        assert result.violation is not None
+
+    def test_missed_notify_deadlocks(self):
+        result = check(
+            bounded_buffer_program(items=2, consumers=2, capacity=2,
+                                   bug="missed-notify"),
+            depth_bound=400, preemption_bound=2, max_seconds=60,
+        )
+        record = result.violation
+        assert record is not None

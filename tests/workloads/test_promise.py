@@ -1,0 +1,82 @@
+"""Promise workload tests (Figure 8)."""
+
+from repro.checker import check
+from repro.engine.results import DivergenceKind
+from repro.runtime.vm import VirtualMachine
+from repro.workloads.promise import Promise, promise_program
+
+
+class TestPromiseUnit:
+    def run_sequential(self, *bodies):
+        vm = VirtualMachine()
+        tasks = [vm.spawn_task(b, name=f"t{i}") for i, b in enumerate(bodies)]
+        while vm.enabled_threads():
+            vm.step(min(vm.enabled_threads()))
+        return tasks
+
+    def test_complete_then_get(self):
+        promise = Promise()
+        results = []
+
+        def body():
+            yield from promise.complete(41)
+            results.append((yield from promise.get()))
+
+        self.run_sequential(body)
+        assert results == [41]
+        assert promise.is_done()
+
+    def test_double_complete_is_violation(self):
+        from repro.runtime.errors import AssertionViolation
+
+        promise = Promise()
+
+        def body():
+            yield from promise.complete(1)
+            yield from promise.complete(2)
+
+        vm = VirtualMachine()
+        task = vm.spawn_task(body, name="t")
+        import pytest
+
+        with pytest.raises(AssertionViolation):
+            while vm.enabled_threads():
+                vm.step(task.tid)
+
+    def test_stale_spin_fast_path_works_when_done(self):
+        promise = Promise()
+        results = []
+
+        def body():
+            yield from promise.complete("v")
+            results.append((yield from promise.get_stale_spin()))
+
+        self.run_sequential(body)
+        assert results == ["v"]
+
+
+class TestCheckedProgram:
+    def test_correct_version_passes(self):
+        result = check(promise_program(1), depth_bound=200,
+                       max_executions=3000)
+        assert result.ok
+
+    def test_stale_read_livelock_found(self):
+        """The Figure 8 bug: the consumer spins on a stale local copy.
+        Because the spin yields (Sleep), the divergence is *fair* — a
+        livelock, not a good-samaritan violation."""
+        result = check(promise_program(2, stale_read_bug=True),
+                       depth_bound=200)
+        assert not result.ok
+        record = result.livelock
+        assert record is not None
+        assert record.divergence.kind is DivergenceKind.LIVELOCK
+        assert "consumer" in record.divergence.culprits
+
+    def test_livelock_reachable_without_preemptions(self):
+        """The buggy spin yields, and switches at yields are voluntary, so
+        even a zero-preemption fair search reaches the livelock — the bug
+        needs an uncommon *ordering*, not a preemption."""
+        result = check(promise_program(1, stale_read_bug=True),
+                       depth_bound=200, preemption_bound=0)
+        assert result.livelock is not None

@@ -1,0 +1,63 @@
+"""Figure 3 spin-loop workload tests."""
+
+from repro.checker import Checker, check
+from repro.engine.results import DivergenceKind, Outcome
+
+
+from repro.workloads.spinloop import (
+    spinloop,
+    spinloop_no_yield,
+    spinloop_with_event,
+)
+
+
+class TestFairChecking:
+    def test_fair_search_terminates_and_passes(self):
+        result = check(spinloop(), depth_bound=200)
+        assert result.ok
+        assert result.exploration.complete
+        # The fair tree of this tiny program is small.
+        assert result.exploration.executions < 100
+        assert result.exploration.outcomes[Outcome.TERMINATED] == \
+            result.exploration.executions
+
+    def test_unfair_search_wastes_work(self):
+        """Figure 2's phenomenon: without fairness the search keeps
+        unrolling the spin cycle up to the depth bound."""
+        result = check(spinloop(), fairness=False, depth_bound=25)
+        assert result.ok
+        assert result.exploration.nonterminating_executions > 0
+        fair = check(spinloop(), depth_bound=200)
+        assert fair.exploration.executions < result.exploration.executions
+
+
+class TestGoodSamaritan:
+    def test_no_yield_variant_flagged(self):
+        result = check(spinloop_no_yield(), depth_bound=150)
+        assert not result.ok
+        record = result.gs_violation
+        assert record is not None
+        assert record.divergence.kind is \
+            DivergenceKind.GOOD_SAMARITAN_VIOLATION
+        assert "u" in record.divergence.culprits
+
+    def test_divergent_schedule_is_replayable(self):
+        checker = Checker(spinloop_no_yield(), depth_bound=150)
+        result = checker.run()
+        replayed = checker.replay(result.gs_violation)
+        assert replayed.outcome is Outcome.DIVERGENCE
+
+
+class TestManualModification:
+    def test_event_version_terminates_even_without_fairness(self):
+        """The Section 4.1 rewrite: after manual modification the program
+        is terminating under every schedule."""
+        result = check(spinloop_with_event(), fairness=False,
+                       depth_bound=200)
+        assert result.ok
+        assert result.exploration.complete
+        assert result.exploration.nonterminating_executions == 0
+
+    def test_event_version_passes_fair_check_too(self):
+        result = check(spinloop_with_event(), depth_bound=200)
+        assert result.ok

@@ -1,0 +1,41 @@
+"""Worker pool workload tests (Figure 7)."""
+
+from repro.checker import check
+from repro.engine.results import DivergenceKind
+from repro.workloads.workerpool import worker_pool
+
+
+class TestBuggyPool:
+    def test_gs_violation_found(self):
+        result = check(worker_pool(tasks=1, workers=1), depth_bound=250)
+        assert not result.ok
+        record = result.gs_violation
+        assert record is not None
+        assert record.divergence.kind is \
+            DivergenceKind.GOOD_SAMARITAN_VIOLATION
+        assert "worker0" in record.divergence.culprits
+
+    def test_spin_happens_in_the_shutdown_window(self):
+        """The violation needs group.stop set while worker.stop is not:
+        the divergent trace must show the controller mid-shutdown."""
+        result = check(worker_pool(tasks=1, workers=1), depth_bound=250)
+        trace_ops = [s.operation for s in result.gs_violation.trace]
+        assert any("group.stop" in op and "store" in op for op in trace_ops)
+
+    def test_two_workers_also_flagged(self):
+        result = check(worker_pool(tasks=1, workers=2), depth_bound=250,
+                       max_seconds=30)
+        assert result.gs_violation is not None
+
+
+class TestFixedPool:
+    def test_fixed_pool_passes(self):
+        result = check(worker_pool(tasks=1, workers=1, fixed=True),
+                       depth_bound=250, max_executions=5000)
+        assert result.ok
+
+    def test_tasks_complete(self):
+        result = check(worker_pool(tasks=2, workers=1, fixed=True),
+                       strategy="random", random_executions=10,
+                       depth_bound=2000)
+        assert result.ok

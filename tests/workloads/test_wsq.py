@@ -1,0 +1,113 @@
+"""Work-stealing queue workload tests."""
+
+from repro.checker import check
+from repro.engine.results import Outcome
+from repro.workloads.wsq import WorkStealingQueue, work_stealing_queue
+
+
+class TestCorrectProtocol:
+    def test_exhaustive_cb1_no_violation(self):
+        result = check(work_stealing_queue(items=1, stealers=1),
+                       depth_bound=300, preemption_bound=1)
+        assert result.ok
+        assert result.exploration.complete
+
+    def test_bounded_cb2_no_violation(self):
+        result = check(work_stealing_queue(items=1, stealers=1),
+                       depth_bound=300, preemption_bound=2,
+                       max_executions=4000)
+        assert result.ok
+
+    def test_sequential_schedule_consumes_everything(self):
+        # Single random execution sanity check.
+        result = check(work_stealing_queue(items=3, stealers=1),
+                       strategy="random", random_executions=5,
+                       depth_bound=2000)
+        assert result.ok
+
+
+class TestSeededBugs:
+    def test_bug1_missing_publication_order(self):
+        result = check(work_stealing_queue(items=1, stealers=1, bug=1),
+                       depth_bound=300, preemption_bound=2, max_seconds=60)
+        assert result.violation is not None
+        assert "consumed twice" in str(result.violation.violation)
+
+    def test_bug2_steal_from_empty(self):
+        result = check(work_stealing_queue(items=1, stealers=1, bug=2),
+                       depth_bound=300, preemption_bound=2, max_seconds=60)
+        assert result.violation is not None
+
+    def test_bug3_unrestored_tail(self):
+        result = check(
+            work_stealing_queue(items=2, stealers=1, bug=3,
+                                interleaved=True),
+            strategy="random", random_executions=500, depth_bound=500,
+        )
+        assert result.violation is not None
+
+    def test_bug1_needs_a_racy_interleaving(self):
+        """Bug 1 (the reordered tail publication) only fires when a steal
+        is interleaved inside the owner's pop: the zero-preemption search
+        passes, which is why stress testing misses it."""
+        result = check(work_stealing_queue(items=1, stealers=1, bug=1),
+                       depth_bound=300, preemption_bound=0)
+        assert result.ok, "bug 1 fired without preemptions"
+
+
+class TestQueueUnit:
+    def run_sequential(self, body):
+        from repro.runtime.vm import VirtualMachine
+
+        vm = VirtualMachine()
+        task = vm.spawn_task(body, name="t")
+        while vm.enabled_threads():
+            vm.step(task.tid)
+        assert not task.failed, task.exception
+        return task
+
+    def test_push_pop_lifo_for_owner(self):
+        queue = WorkStealingQueue()
+        popped = []
+
+        def body():
+            yield from queue.push("a")
+            yield from queue.push("b")
+            popped.append((yield from queue.pop()))
+            popped.append((yield from queue.pop()))
+            popped.append((yield from queue.pop()))
+
+        self.run_sequential(body)
+        assert popped == [(True, "b"), (True, "a"), (False, None)]
+
+    def test_steal_fifo_from_head(self):
+        queue = WorkStealingQueue()
+        stolen = []
+
+        def body():
+            yield from queue.push("a")
+            yield from queue.push("b")
+            stolen.append((yield from queue.steal()))
+            stolen.append((yield from queue.steal()))
+            stolen.append((yield from queue.steal()))
+
+        self.run_sequential(body)
+        assert stolen == [(True, "a"), (True, "b"), (False, None)]
+
+    def test_overflow_is_violation(self):
+        from repro.runtime.errors import AssertionViolation
+        from repro.runtime.vm import VirtualMachine
+
+        queue = WorkStealingQueue(capacity=2)
+
+        def body():
+            for i in range(3):
+                yield from queue.push(i)
+
+        vm = VirtualMachine()
+        task = vm.spawn_task(body, name="t")
+        import pytest
+
+        with pytest.raises(AssertionViolation):
+            while vm.enabled_threads():
+                vm.step(task.tid)
