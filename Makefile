@@ -17,6 +17,7 @@ bench-full:
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
 
+# benchmarks/results/ holds committed reference outputs — never clean it.
 clean:
-	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/results
+	rm -rf .pytest_cache .hypothesis .benchmarks
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -29,8 +29,9 @@ Quickstart::
     assert result.ok
 """
 
-from repro import sync
+from repro import obs, sync
 from repro.checker import Checker, CheckResult, check
+from repro.obs import MetricsRegistry, Observer
 from repro.core import (
     FairPolicy,
     FairSchedulerState,
@@ -86,7 +87,9 @@ __all__ = [
     "ExplorationResult",
     "FairPolicy",
     "FairSchedulerState",
+    "MetricsRegistry",
     "NonfairPolicy",
+    "Observer",
     "Outcome",
     "PriorityRelation",
     "Program",
@@ -109,6 +112,7 @@ __all__ = [
     "iterative_context_bounding",
     "never",
     "nonfair_policy",
+    "obs",
     "program",
     "replay_schedule",
     "round_robin_policy",

@@ -4,12 +4,17 @@ Each function reproduces the measurement behind one of the paper's tables
 or figures, scaled by caps (executions / wall seconds) so the whole
 harness runs on a laptop.  Cells that hit a cap are marked with ``*`` —
 the same convention the paper uses for its 5000-second timeouts.
+
+Timing goes through :class:`repro.obs.metrics.MetricsRegistry` timers
+(histograms named ``<experiment>.seconds``) rather than ad-hoc
+``perf_counter`` pairs, so benchmark output and checker telemetry share
+one JSON schema; pass your own registry to accumulate measurements across
+calls and export them with :meth:`MetricsRegistry.dump_json`.
 """
 
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -19,7 +24,24 @@ from repro.engine.coverage import CoverageTracker
 from repro.engine.executor import ExecutorConfig, RandomChooser, run_execution
 from repro.engine.results import ExplorationResult, Outcome
 from repro.engine.strategies import ExplorationLimits, explore_dfs
+from repro.obs.metrics import MetricsRegistry
 from repro.statespace.stateful import stateful_state_count
+
+
+def _registry(metrics: Optional[MetricsRegistry]) -> MetricsRegistry:
+    return metrics if metrics is not None else MetricsRegistry()
+
+
+def _record_search(registry: MetricsRegistry,
+                   result: ExplorationResult) -> None:
+    """Fold a search result into the shared checker-metrics schema."""
+    registry.counter("executions").inc(result.executions)
+    registry.counter("transitions").inc(result.transitions)
+    if result.found_violation:
+        registry.counter("violations").inc(len(result.violations))
+        registry.counter("deadlocks").inc(len(result.deadlocks))
+    if result.divergences:
+        registry.counter("divergences").inc(len(result.divergences))
 
 # ----------------------------------------------------------------------
 # Figure 2: nonterminating executions vs depth bound
@@ -32,20 +54,23 @@ def count_nonterminating_executions(
     *,
     max_executions: int = 200_000,
     max_seconds: float = 60.0,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Tuple[int, int, float]:
     """Unfair depth-bounded DFS; returns (nonterminating, executions, s)."""
-    start = time.perf_counter()
-    result = explore_dfs(
-        program_factory(),
-        nonfair_policy(),
-        ExecutorConfig(depth_bound=depth_bound, on_depth_exceeded="prune"),
-        ExplorationLimits(max_executions=max_executions,
-                          max_seconds=max_seconds,
-                          stop_on_first_violation=False,
-                          stop_on_first_divergence=False),
-    )
+    registry = _registry(metrics)
+    with registry.timer("fig2.search") as timer:
+        result = explore_dfs(
+            program_factory(),
+            nonfair_policy(),
+            ExecutorConfig(depth_bound=depth_bound, on_depth_exceeded="prune"),
+            ExplorationLimits(max_executions=max_executions,
+                              max_seconds=max_seconds,
+                              stop_on_first_violation=False,
+                              stop_on_first_divergence=False),
+        )
+    _record_search(registry, result)
     return (result.nonterminating_executions, result.executions,
-            time.perf_counter() - start)
+            timer.seconds)
 
 
 # ----------------------------------------------------------------------
@@ -94,6 +119,7 @@ def measure_coverage(
     max_executions: int = 50_000,
     max_seconds: float = 20.0,
     seed: int = 0,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> CoverageCell:
     """One Table 2 cell: run the search, count covered states.
 
@@ -101,6 +127,7 @@ def measure_coverage(
     fair-terminating programs); unfair runs prune at ``depth_bound`` and
     finish each pruned execution with random search, as the paper does.
     """
+    registry = _registry(metrics)
     preemption_bound = _strategy_bound(strategy)
     if total_states is None:
         truth = stateful_state_count(
@@ -118,18 +145,19 @@ def measure_coverage(
         config = ExecutorConfig(depth_bound=depth_bound,
                                 on_depth_exceeded="random-completion",
                                 preemption_bound=preemption_bound, seed=seed)
-    start = time.perf_counter()
-    result = explore_dfs(
-        program_factory(),
-        fair_policy() if fair else nonfair_policy(),
-        config,
-        ExplorationLimits(max_executions=max_executions,
-                          max_seconds=max_seconds,
-                          stop_on_first_violation=False,
-                          stop_on_first_divergence=False),
-        coverage=coverage,
-    )
-    elapsed = time.perf_counter() - start
+    with registry.timer("coverage.search") as timer:
+        result = explore_dfs(
+            program_factory(),
+            fair_policy() if fair else nonfair_policy(),
+            config,
+            ExplorationLimits(max_executions=max_executions,
+                              max_seconds=max_seconds,
+                              stop_on_first_violation=False,
+                              stop_on_first_divergence=False),
+            coverage=coverage,
+        )
+    _record_search(registry, result)
+    registry.counter("states.new").inc(coverage.count)
     return CoverageCell(
         strategy=strategy,
         fair=fair,
@@ -137,7 +165,7 @@ def measure_coverage(
         total_states=total_states,
         states=coverage.count,
         executions=result.executions,
-        seconds=elapsed,
+        seconds=timer.seconds,
         timed_out=result.limit_hit,
     )
 
@@ -150,11 +178,13 @@ def table2_rows(
     divergence_bound: int = 400,
     max_executions: int = 50_000,
     max_seconds: float = 15.0,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[List[object]]:
     """All cells for one program configuration of Table 2.
 
     Row format: [strategy, total, with-fairness, nf db=..., ...].
     """
+    registry = _registry(metrics)
     rows: List[List[object]] = []
     for strategy in strategies:
         preemption_bound = _strategy_bound(strategy)
@@ -166,6 +196,7 @@ def table2_rows(
             program_factory, strategy, fair=True,
             divergence_bound=divergence_bound, total_states=truth.count,
             max_executions=max_executions, max_seconds=max_seconds,
+            metrics=registry,
         )
         row: List[object] = [strategy, truth.count, fair_cell.label]
         cells = [fair_cell]
@@ -175,6 +206,7 @@ def table2_rows(
                 depth_bound=depth_bound, divergence_bound=divergence_bound,
                 total_states=truth.count,
                 max_executions=max_executions, max_seconds=max_seconds,
+                metrics=registry,
             )
             row.append(cell.label)
             cells.append(cell)
@@ -191,14 +223,17 @@ def search_times(
     divergence_bound: int = 400,
     max_executions: int = 50_000,
     max_seconds: float = 15.0,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[List[object]]:
     """Figures 5/6: time to complete the search, fair vs unfair-with-db."""
+    registry = _registry(metrics)
     rows: List[List[object]] = []
     for strategy in strategies:
         fair_cell = measure_coverage(
             program_factory, strategy, fair=True,
             divergence_bound=divergence_bound,
             max_executions=max_executions, max_seconds=max_seconds,
+            metrics=registry,
         )
         row: List[object] = [strategy, f"{fair_cell.seconds:.2f}"]
         cells = [fair_cell]
@@ -208,6 +243,7 @@ def search_times(
                 depth_bound=depth_bound,
                 divergence_bound=divergence_bound,
                 max_executions=max_executions, max_seconds=max_seconds,
+                metrics=registry,
             )
             mark = "*" if cell.timed_out else ""
             row.append(f"{cell.seconds:.2f}{mark}")
@@ -248,12 +284,14 @@ def find_bug(
     divergence_bound: int = 400,
     max_executions: int = 100_000,
     max_seconds: float = 30.0,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> BugSearchResult:
     """Table 3 cell: DFS until the first safety violation.
 
     The unfair baseline uses the paper's configuration: depth bound 250
     with random completion.
     """
+    registry = _registry(metrics)
     if fair:
         config = ExecutorConfig(depth_bound=divergence_bound,
                                 on_depth_exceeded="divergence",
@@ -262,21 +300,21 @@ def find_bug(
         config = ExecutorConfig(depth_bound=nonfair_depth_bound,
                                 on_depth_exceeded="random-completion",
                                 preemption_bound=preemption_bound)
-    start = time.perf_counter()
-    result = explore_dfs(
-        program_factory(),
-        fair_policy() if fair else nonfair_policy(),
-        config,
-        ExplorationLimits(max_executions=max_executions,
-                          max_seconds=max_seconds,
-                          stop_on_first_violation=True,
-                          stop_on_first_divergence=False),
-    )
-    elapsed = time.perf_counter() - start
+    with registry.timer("bugsearch") as timer:
+        result = explore_dfs(
+            program_factory(),
+            fair_policy() if fair else nonfair_policy(),
+            config,
+            ExplorationLimits(max_executions=max_executions,
+                              max_seconds=max_seconds,
+                              stop_on_first_violation=True,
+                              stop_on_first_divergence=False),
+        )
+    _record_search(registry, result)
     return BugSearchResult(
         found=result.found_violation,
         executions=result.first_violation_execution,
-        seconds=elapsed,
+        seconds=timer.seconds,
         timed_out=result.limit_hit,
     )
 

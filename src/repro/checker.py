@@ -24,7 +24,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.obs.observer import Observer
 
 from repro.core.model import Program
 from repro.core.policies import PolicyFactory, fair_policy, nonfair_policy
@@ -56,6 +59,7 @@ def _merge_sweeps(program_name: str, policy_name: str,
         strategy_name=f"icb(<= {len(sweeps) - 1})",
     )
     for result in sweeps:
+        executions_before = merged.executions
         merged.executions += result.executions
         merged.transitions += result.transitions
         merged.outcomes.update(result.outcomes)
@@ -67,7 +71,11 @@ def _merge_sweeps(program_name: str, policy_name: str,
         merged.limit_hit = merged.limit_hit or result.limit_hit
         if (result.first_violation_execution is not None
                 and merged.first_violation_execution is None):
-            merged.first_violation_execution = merged.executions
+            # Offset the sweep-local index by the executions of all
+            # earlier sweeps (not by the cumulative total after this
+            # sweep, which would overcount).
+            merged.first_violation_execution = (
+                executions_before + result.first_violation_execution)
     merged.complete = all(result.complete for result in sweeps)
     if sweeps and sweeps[-1].states_covered is not None:
         merged.states_covered = sweeps[-1].states_covered
@@ -164,9 +172,13 @@ class Checker:
         collect_coverage: bool = False,
         seed: int = 0,
         policy_factory: Optional[PolicyFactory] = None,
+        observer: Optional["Observer"] = None,
     ) -> None:
         self.program = program
         self.fairness = fairness
+        #: Optional :class:`repro.obs.Observer`; None (the default) keeps
+        #: the exploration hot path free of telemetry work.
+        self.observer = observer
         if policy_factory is not None:
             self.policy_factory = policy_factory
         elif fairness:
@@ -176,7 +188,8 @@ class Checker:
         self.strategy = strategy
         self.random_executions = random_executions
         self.seed = seed
-        self.coverage = CoverageTracker() if collect_coverage else None
+        self.coverage = (CoverageTracker(observer=observer)
+                         if collect_coverage else None)
         self.config = ExecutorConfig(
             depth_bound=depth_bound,
             on_depth_exceeded="divergence" if fairness else nonfair_completion,
@@ -194,7 +207,7 @@ class Checker:
         if self.strategy == "dfs":
             exploration = explore_dfs(
                 self.program, self.policy_factory, self.config, self.limits,
-                coverage=self.coverage,
+                coverage=self.coverage, observer=self.observer,
             )
         elif self.strategy == "icb":
             # Iterative context bounding: sweep preemption bounds 0..max
@@ -206,19 +219,20 @@ class Checker:
                 dataclasses.replace(self.config, preemption_bound=None),
                 self.limits, coverage=self.coverage,
                 stop_on_violation=self.limits.stop_on_first_violation,
+                observer=self.observer,
             )
             exploration = _merge_sweeps(self.program.name,
                                         self.policy_factory().name, sweeps)
         elif self.strategy == "bfs":
             exploration = explore_bfs(
                 self.program, self.policy_factory, self.config, self.limits,
-                coverage=self.coverage,
+                coverage=self.coverage, observer=self.observer,
             )
         elif self.strategy == "random":
             exploration = explore_random(
                 self.program, self.policy_factory, self.config, self.limits,
                 executions=self.random_executions, seed=self.seed,
-                coverage=self.coverage,
+                coverage=self.coverage, observer=self.observer,
             )
         else:
             raise ValueError(

@@ -126,6 +126,35 @@ def _add_checker_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--save-repro", metavar="PATH",
                         help="write the first counterexample's schedule "
                              "to a repro file")
+    telemetry = parser.add_argument_group(
+        "telemetry", "exploration observability (docs/observability.md)")
+    telemetry.add_argument("--stats", action="store_true",
+                           help="print phase timings and search metrics "
+                                "after the verdict")
+    telemetry.add_argument("--metrics-json", metavar="FILE",
+                           help="export metrics + phase timers as JSON")
+    telemetry.add_argument("--trace-out", metavar="FILE",
+                           help="write the full event trace as JSONL "
+                                "(replay-compatible)")
+    telemetry.add_argument("--progress", action="store_true",
+                           help="print periodic progress lines to stderr")
+    telemetry.add_argument("--progress-interval", type=float, default=1.0,
+                           metavar="SECONDS",
+                           help="minimum seconds between progress lines")
+
+
+def _make_observer(options: argparse.Namespace):
+    """Build an Observer when any telemetry flag was given, else None."""
+    wants_observer = (options.stats or options.metrics_json
+                      or options.trace_out or options.progress)
+    if not wants_observer:
+        return None
+    from repro.obs import JsonlTraceWriter, Observer, ProgressReporter
+
+    sink = JsonlTraceWriter(options.trace_out) if options.trace_out else None
+    progress = (ProgressReporter(interval_seconds=options.progress_interval)
+                if options.progress else None)
+    return Observer(sink=sink, progress=progress)
 
 
 def _make_checker(program: Program, options: argparse.Namespace) -> Checker:
@@ -142,13 +171,28 @@ def _make_checker(program: Program, options: argparse.Namespace) -> Checker:
         random_executions=options.random_executions,
         collect_coverage=options.coverage,
         seed=options.seed,
+        observer=_make_observer(options),
     )
 
 
 def _report_and_save(program: Program, checker: Checker,
                      options: argparse.Namespace) -> int:
-    result = checker.run()
+    try:
+        result = checker.run()
+    finally:
+        if checker.observer is not None:
+            checker.observer.close()
     print(result.report(trace_limit=options.trace_limit))
+    observer = checker.observer
+    if observer is not None:
+        if options.stats:
+            print()
+            print(observer.summary())
+        if options.metrics_json:
+            path = observer.dump_json(options.metrics_json)
+            print(f"metrics written to {path}")
+        if options.trace_out:
+            print(f"event trace written to {options.trace_out}")
     record = result.violation or result.divergence
     if options.save_repro and record is not None:
         path = save_schedule(

@@ -29,6 +29,7 @@ def classify_divergence(
     *,
     window: int = 256,
     gs_schedule_threshold: int = 8,
+    observer=None,
 ) -> DivergenceReport:
     """Analyze the suffix of a divergent execution.
 
@@ -42,7 +43,21 @@ def classify_divergence(
     gs_schedule_threshold:
         Minimum number of times a thread must run yield-free inside the
         window to be blamed for a good-samaritan violation.
+    observer:
+        Optional :class:`repro.obs.observer.Observer`; the analysis is
+        charged to its ``classify`` phase timer.
     """
+    if observer is not None:
+        with observer.timers.measure("classify"):
+            return _classify(trace, window, gs_schedule_threshold)
+    return _classify(trace, window, gs_schedule_threshold)
+
+
+def _classify(
+    trace: Sequence[TraceStep],
+    window: int,
+    gs_schedule_threshold: int,
+) -> DivergenceReport:
     steps = list(trace)[-window:]
     if not steps:
         return DivergenceReport(

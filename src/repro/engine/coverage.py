@@ -12,13 +12,19 @@ from typing import Hashable, List, Optional, Set, Tuple
 
 
 class CoverageTracker:
-    """Accumulates distinct state signatures across executions."""
+    """Accumulates distinct state signatures across executions.
 
-    def __init__(self) -> None:
+    ``observer`` is an optional :class:`repro.obs.observer.Observer`; each
+    recorded signature increments its ``states.new`` or
+    ``states.revisited`` counter.
+    """
+
+    def __init__(self, observer=None) -> None:
         self._seen: Set[Hashable] = set()
         #: (execution_index, cumulative_state_count) checkpoints.
         self.history: List[Tuple[int, int]] = []
         self._execution_index = 0
+        self._observer = observer
 
     def record(self, signature: Optional[Hashable]) -> bool:
         """Record one state; returns True if it was new."""
@@ -26,7 +32,10 @@ class CoverageTracker:
             return False
         before = len(self._seen)
         self._seen.add(signature)
-        return len(self._seen) != before
+        fresh = len(self._seen) != before
+        if self._observer is not None:
+            self._observer.state_hashed(fresh)
+        return fresh
 
     def seen(self, signature: Hashable) -> bool:
         return signature in self._seen

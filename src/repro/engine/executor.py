@@ -20,6 +20,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, List, Optional, Sequence
 
 from repro.core.model import Program, ProgramInstance, RunStatus
@@ -166,8 +167,14 @@ def run_execution(
     coverage: Optional[CoverageTracker] = None,
     pruner: Optional[Pruner] = None,
     completion_rng: Optional[random.Random] = None,
+    observer=None,
 ) -> ExecutionResult:
-    """Execute the program once under ``policy``, steering with ``chooser``."""
+    """Execute the program once under ``policy``, steering with ``chooser``.
+
+    ``observer`` is an optional :class:`repro.obs.observer.Observer`; when
+    None (the default) the loop takes only dead branches — no telemetry
+    objects are touched on the hot path.
+    """
     instance = program.instantiate()
     for tid in _sorted_options(instance.thread_ids()):
         policy.register_thread(tid)
@@ -176,6 +183,7 @@ def run_execution(
     trace: deque = deque(maxlen=config.trace_window)
     steps = 0
     preemptions = 0
+    yields = 0
     last_tid: object = None
     last_was_yield = False
     hit_depth_bound = False
@@ -184,14 +192,26 @@ def run_execution(
     violation: Optional[PropertyViolation] = None
     outcome = Outcome.TERMINATED
     divergence = None
+    timers = observer.timers if observer is not None else None
+    algo_state = (getattr(policy, "algorithm_state", None)
+                  if observer is not None else None)
+    if observer is not None:
+        observer.execution_started()
 
     def current_chooser() -> Chooser:
         return completion_chooser if completing_randomly else chooser
 
     def data_choice_handler(n: int) -> int:
-        index = current_chooser().pick("data", n)
+        if timers is not None:
+            t0 = perf_counter()
+            index = current_chooser().pick("data", n)
+            timers.add("schedule", perf_counter() - t0)
+        else:
+            index = current_chooser().pick("data", n)
         if not completing_randomly:
             decisions.append(Decision("data", index, n, index))
+            if observer is not None:
+                observer.decision(steps, "data", index, n, index)
         return index
 
     if hasattr(instance, "data_choice_handler"):
@@ -215,7 +235,12 @@ def run_execution(
 
     while True:
         if coverage is not None:
-            coverage.record(instance.state_signature())
+            if timers is not None:
+                t0 = perf_counter()
+                coverage.record(instance.state_signature())
+                timers.add("hash", perf_counter() - t0)
+            else:
+                coverage.record(instance.state_signature())
         if pruner is not None and pruner(
             instance,
             PrunePoint(
@@ -249,7 +274,10 @@ def run_execution(
                     trace,
                     window=window,
                     gs_schedule_threshold=config.gs_schedule_threshold,
+                    observer=observer,
                 )
+                if observer is not None:
+                    observer.divergence(divergence)
                 outcome = Outcome.DIVERGENCE
                 break
             if config.on_depth_exceeded == "prune":
@@ -269,7 +297,14 @@ def run_execution(
             outcome = Outcome.DEPTH_PRUNED
             break
 
-        schedulable = policy.schedulable(enabled)
+        if timers is not None:
+            t0 = perf_counter()
+            schedulable = policy.schedulable(enabled)
+            timers.add("policy", perf_counter() - t0)
+            if algo_state is not None:
+                observer.priority_relation(algo_state.priority.edge_count())
+        else:
+            schedulable = policy.schedulable(enabled)
         if not schedulable:
             raise AssertionError(
                 "schedulable set empty while threads are enabled — "
@@ -297,14 +332,26 @@ def run_execution(
                     hit_depth_bound = False
                     break
 
-        index = current_chooser().pick("thread", len(options))
+        if timers is not None:
+            t0 = perf_counter()
+            index = current_chooser().pick("thread", len(options))
+            timers.add("schedule", perf_counter() - t0)
+        else:
+            index = current_chooser().pick("thread", len(options))
         if not completing_randomly:
             decisions.append(Decision("thread", index, len(options),
                                       options[index]))
+            if observer is not None:
+                observer.decision(steps, "thread", index, len(options),
+                                  options[index], len(schedulable),
+                                  len(enabled))
         tid = options[index]
         if switch_costs_preemption and tid != last_tid:
             preemptions += 1
+            if observer is not None:
+                observer.preemption(steps, last_tid, tid, preemptions)
 
+        t0 = perf_counter() if timers is not None else 0.0
         try:
             info = instance.step(tid)
             for monitor in config.monitors:
@@ -319,14 +366,22 @@ def run_execution(
             trace.append(TraceStep(tid, thread_name(tid), f"† {exc}", False,
                                    enabled))
             steps += 1
+            if timers is not None:
+                timers.add("execute", perf_counter() - t0)
+            if observer is not None:
+                observer.violation(steps, str(exc))
             break
 
+        if timers is not None:
+            timers.add("execute", perf_counter() - t0)
         policy.observe_step(info)
         trace.append(TraceStep(tid, thread_name(tid), info.operation,
                                info.yielded, enabled))
         steps += 1
         last_tid = tid
         last_was_yield = info.yielded
+        if observer is not None and info.yielded:
+            yields += 1
 
     if not config.keep_instance:
         closer = getattr(instance, "close", None)
@@ -347,4 +402,6 @@ def run_execution(
     )
     if config.keep_instance:
         result.final_instance = instance
+    if observer is not None:
+        observer.execution_finished(result, yields=yields)
     return result

@@ -33,16 +33,21 @@ class Aggregator:
         limits: ExplorationLimits,
         coverage: Optional[CoverageTracker] = None,
         listener: Optional[Callable[[ExecutionResult], None]] = None,
+        observer=None,
     ) -> None:
         self.limits = limits
         self.coverage = coverage
         self._listener = listener
+        self._observer = observer
         self._start = time.perf_counter()
         self.result = ExplorationResult(
             program_name=program_name,
             policy_name=policy_name,
             strategy_name=strategy_name,
         )
+        if observer is not None:
+            observer.exploration_started(program_name, policy_name,
+                                         strategy_name)
 
     def add(self, record: ExecutionResult) -> Optional[str]:
         """Fold in one execution; returns a stop reason or None."""
@@ -91,6 +96,8 @@ class Aggregator:
         res.limit_hit = stop_reason in ("max-executions", "max-seconds")
         if self.coverage is not None:
             res.states_covered = self.coverage.count
+        if self._observer is not None:
+            self._observer.exploration_finished(res)
         return res
 
 

@@ -28,6 +28,7 @@ def explore_bfs(
     *,
     coverage: Optional[CoverageTracker] = None,
     listener: Optional[Callable[[ExecutionResult], None]] = None,
+    observer=None,
 ) -> ExplorationResult:
     """Search the choice tree level by level.
 
@@ -46,6 +47,7 @@ def explore_bfs(
         limits=limits,
         coverage=coverage,
         listener=listener,
+        observer=observer,
     )
 
     queue = deque([[]])
@@ -58,6 +60,7 @@ def explore_bfs(
             GuidedChooser(guide),
             config,
             coverage=coverage,
+            observer=observer,
         )
         stop_reason = aggregator.add(record)
         if stop_reason is not None:

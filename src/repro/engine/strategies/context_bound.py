@@ -35,6 +35,7 @@ def explore_context_bounded(
     *,
     coverage: Optional[CoverageTracker] = None,
     listener: Optional[Callable[[ExecutionResult], None]] = None,
+    observer=None,
 ) -> ExplorationResult:
     """DFS over all executions with at most ``bound`` preemptions."""
     if bound < 0:
@@ -49,6 +50,7 @@ def explore_context_bounded(
         coverage=coverage,
         listener=listener,
         strategy_name=f"cb={bound}",
+        observer=observer,
     )
 
 
@@ -61,6 +63,7 @@ def iterative_context_bounding(
     *,
     coverage: Optional[CoverageTracker] = None,
     stop_on_violation: bool = True,
+    observer=None,
 ) -> List[ExplorationResult]:
     """Run searches with bounds 0, 1, ..., ``max_bound`` in order.
 
@@ -71,8 +74,11 @@ def iterative_context_bounding(
     for bound in range(max_bound + 1):
         result = explore_context_bounded(
             program, policy_factory, bound, config, limits, coverage=coverage,
+            observer=observer,
         )
         results.append(result)
+        if observer is not None:
+            observer.icb_sweep(bound, result)
         if stop_on_violation and result.found_violation:
             break
     return results

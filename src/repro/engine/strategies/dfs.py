@@ -41,6 +41,7 @@ def explore_dfs(
     pruner: Optional[Pruner] = None,
     listener: Optional[Callable[[ExecutionResult], None]] = None,
     strategy_name: str = "dfs",
+    observer=None,
 ) -> ExplorationResult:
     """Exhaustively search the program's (bounded) execution tree."""
     config = config or ExecutorConfig()
@@ -54,6 +55,7 @@ def explore_dfs(
         limits=limits,
         coverage=coverage,
         listener=listener,
+        observer=observer,
     )
 
     guide: Optional[list] = []
@@ -67,11 +69,14 @@ def explore_dfs(
             coverage=coverage,
             pruner=pruner,
             completion_rng=completion_rng,
+            observer=observer,
         )
         stop_reason = aggregator.add(record)
         if stop_reason is not None:
             break
         guide = next_dfs_guide(record.decisions)
+        if observer is not None and guide is not None:
+            observer.backtrack(len(guide))
 
     complete = guide is None and stop_reason is None
     # A violation/divergence stop still means the search answered the

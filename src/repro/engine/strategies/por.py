@@ -75,6 +75,7 @@ def _run_once_with_sleep(
     *,
     depth_bound: Optional[int],
     coverage: Optional[CoverageTracker],
+    observer=None,
 ) -> ExecutionResult:
     """One execution with sleep sets carried along the path."""
     instance = program.instantiate()
@@ -86,12 +87,21 @@ def _run_once_with_sleep(
     sleep: Set = set()
     cursor = 0
     steps = 0
+    yields = 0
     violation = None
     outcome = Outcome.TERMINATED
+    timers = observer.timers if observer is not None else None
+    if observer is not None:
+        observer.execution_started()
 
     while True:
         if coverage is not None:
-            coverage.record(instance.state_signature())
+            if timers is not None:
+                t0 = time.perf_counter()
+                coverage.record(instance.state_signature())
+                timers.add("hash", time.perf_counter() - t0)
+            else:
+                coverage.record(instance.state_signature())
         enabled = instance.enabled_threads()
         if not enabled:
             outcome = (Outcome.TERMINATED
@@ -101,7 +111,15 @@ def _run_once_with_sleep(
         if depth_bound is not None and steps >= depth_bound:
             outcome = Outcome.DEPTH_PRUNED
             break
-        schedulable = policy.schedulable(enabled)
+        if timers is not None:
+            t0 = time.perf_counter()
+            schedulable = policy.schedulable(enabled)
+            timers.add("policy", time.perf_counter() - t0)
+            state = getattr(policy, "algorithm_state", None)
+            if state is not None:
+                observer.priority_relation(state.priority.edge_count())
+        else:
+            schedulable = policy.schedulable(enabled)
         available = [t for t in _sorted(schedulable) if t not in sleep]
         if not available:
             # Everything schedulable is asleep: this execution is a
@@ -117,36 +135,51 @@ def _run_once_with_sleep(
         cursor += 1
         tid = available[index]
         decisions.append(Decision("thread", index, len(available), tid))
+        if observer is not None:
+            observer.decision(steps, "thread", index, len(available), tid,
+                              len(schedulable), len(enabled))
 
         executed_op = _pending_op(instance, tid)
         # Sleep set of the child: previously sleeping threads plus the
         # already-explored siblings, kept only while independent of the
         # executed transition.
         inherited = sleep | set(available[:index])
+        t0 = time.perf_counter() if timers is not None else 0.0
         try:
             info = instance.step(tid)
         except PropertyViolation as exc:
             violation = exc
             outcome = Outcome.VIOLATION
             steps += 1
+            if timers is not None:
+                timers.add("execute", time.perf_counter() - t0)
+            if observer is not None:
+                observer.violation(steps, str(exc))
             break
+        if timers is not None:
+            timers.add("execute", time.perf_counter() - t0)
         policy.observe_step(info)
         trace.append(TraceStep(tid, str(tid), info.operation, info.yielded,
                                enabled))
         steps += 1
+        if observer is not None and info.yielded:
+            yields += 1
         sleep = {
             u for u in inherited
             if u != tid and _independent(_pending_op(instance, u),
                                          executed_op)
         }
 
-    return ExecutionResult(
+    result = ExecutionResult(
         outcome=outcome,
         decisions=decisions,
         steps=steps,
         violation=violation,
         trace=tuple(trace[-256:]),
     )
+    if observer is not None:
+        observer.execution_finished(result, yields=yields)
+    return result
 
 
 def explore_dfs_sleepsets(
@@ -157,6 +190,7 @@ def explore_dfs_sleepsets(
     limits: Optional[ExplorationLimits] = None,
     coverage: Optional[CoverageTracker] = None,
     listener: Optional[Callable[[ExecutionResult], None]] = None,
+    observer=None,
 ) -> ExplorationResult:
     """Depth-first search with sleep-set partial-order reduction."""
     limits = limits or ExplorationLimits()
@@ -167,6 +201,7 @@ def explore_dfs_sleepsets(
         limits=limits,
         coverage=coverage,
         listener=listener,
+        observer=observer,
     )
 
     guide: Optional[List[int]] = []
@@ -174,12 +209,14 @@ def explore_dfs_sleepsets(
     while guide is not None:
         record = _run_once_with_sleep(
             program, policy_factory(), guide,
-            depth_bound=depth_bound, coverage=coverage,
+            depth_bound=depth_bound, coverage=coverage, observer=observer,
         )
         stop_reason = aggregator.add(record)
         if stop_reason is not None:
             break
         guide = next_dfs_guide(record.decisions)
+        if observer is not None and guide is not None:
+            observer.backtrack(len(guide))
 
     complete = guide is None and stop_reason is None
     return aggregator.finish(complete=complete, stop_reason=stop_reason)

@@ -31,6 +31,7 @@ def explore_random(
     seed: int = 0,
     coverage: Optional[CoverageTracker] = None,
     listener: Optional[Callable[[ExecutionResult], None]] = None,
+    observer=None,
 ) -> ExplorationResult:
     """Run ``executions`` independent random executions."""
     config = config or ExecutorConfig()
@@ -44,6 +45,7 @@ def explore_random(
         limits=limits,
         coverage=coverage,
         listener=listener,
+        observer=observer,
     )
 
     stop_reason: Optional[str] = None
@@ -55,6 +57,7 @@ def explore_random(
             config,
             coverage=coverage,
             completion_rng=rng,
+            observer=observer,
         )
         stop_reason = aggregator.add(record)
         if stop_reason is not None:

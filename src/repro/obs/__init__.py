@@ -1,0 +1,69 @@
+"""Exploration telemetry: events, metrics, phase timers, traces, progress.
+
+The checker runs with ``observer=None`` by default and pays nothing; pass
+an :class:`Observer` to see inside a search::
+
+    from repro import Checker
+    from repro.obs import Observer
+
+    observer = Observer()
+    result = Checker(program, observer=observer).run()
+    print(observer.summary())          # phase timings + metrics
+    observer.dump_json("metrics.json") # machine-readable export
+
+See ``docs/observability.md`` for the event schema and metric names.
+"""
+
+from repro.obs.events import (
+    Backtrack,
+    CallbackSink,
+    CollectingSink,
+    DivergenceClassified,
+    Event,
+    EventSink,
+    ExecutionFinished,
+    ExecutionStarted,
+    ExplorationFinished,
+    ExplorationStarted,
+    IcbSweep,
+    MultiSink,
+    Preemption,
+    SchedulingDecision,
+    ViolationFound,
+    event_from_dict,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.observer import Observer
+from repro.obs.progress import ProgressReporter
+from repro.obs.timers import PHASES, PhaseTimers
+from repro.obs.trace import JsonlTraceWriter, read_jsonl, schedule_from_events
+
+__all__ = [
+    "Backtrack",
+    "CallbackSink",
+    "CollectingSink",
+    "Counter",
+    "DivergenceClassified",
+    "Event",
+    "EventSink",
+    "ExecutionFinished",
+    "ExecutionStarted",
+    "ExplorationFinished",
+    "ExplorationStarted",
+    "Gauge",
+    "Histogram",
+    "IcbSweep",
+    "JsonlTraceWriter",
+    "MetricsRegistry",
+    "MultiSink",
+    "Observer",
+    "PHASES",
+    "PhaseTimers",
+    "Preemption",
+    "ProgressReporter",
+    "SchedulingDecision",
+    "ViolationFound",
+    "event_from_dict",
+    "read_jsonl",
+    "schedule_from_events",
+]

@@ -1,0 +1,223 @@
+"""Metrics registry: counters, gauges and histograms with JSON export.
+
+The registry is the shared numeric vocabulary of the checker and the
+benchmark harness: the engine populates it through
+:class:`repro.obs.observer.Observer`, ``--metrics-json`` dumps it, and
+:mod:`repro.bench.experiments` records its experiment timings into the
+same structure so benchmark output and checker telemetry share one
+schema.
+
+Metric names are dotted lowercase (``divergence.livelock``,
+``states.new``).  All three instrument types are allocation-free on the
+update path (plain attribute arithmetic).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Dict, Optional
+
+
+class Counter:
+    """Monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A value that goes up and down (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Running distribution summary with exponential (base-2) buckets.
+
+    Tracks count/sum/min/max exactly and bucket counts keyed by
+    ``floor(log2(value))`` for a cheap shape estimate — enough to answer
+    "how big do schedulable sets get" without storing samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        #: bucket exponent -> observations with floor(log2(v)) == exponent
+        #: (values <= 0 land in the sentinel bucket None).
+        self.buckets: Dict[Optional[int], int] = {}
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        exponent = math.floor(math.log2(value)) if value > 0 else None
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                ("<=0" if exp is None else f"2^{exp}"): n
+                for exp, n in sorted(
+                    self.buckets.items(),
+                    key=lambda item: (-math.inf if item[0] is None
+                                      else item[0]),
+                )
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (f"<Histogram {self.name} count={self.count} "
+                f"mean={self.mean}>")
+
+
+class TimerHandle:
+    """Context manager returned by :meth:`MetricsRegistry.timer`.
+
+    Measures one wall-clock span, records it into the registry histogram
+    ``<name>.seconds`` and keeps the duration on ``.seconds`` so callers
+    (the benchmark harness) can report the same number they exported.
+    """
+
+    __slots__ = ("_histogram", "_start", "seconds")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "TimerHandle":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+        self._histogram.record(self.seconds)
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use; one flat namespace."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors (get-or-create) --------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def timer(self, name: str) -> TimerHandle:
+        """Time a ``with`` block into the histogram ``<name>.seconds``."""
+        return TimerHandle(self.histogram(f"{name}.seconds"))
+
+    # -- introspection & export ----------------------------------------
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    def names(self) -> list:
+        return sorted(
+            list(self._counters) + list(self._gauges)
+            + list(self._histograms)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "counters": {
+                name: metric.value
+                for name, metric in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: metric.value
+                for name, metric in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: metric.to_dict()
+                for name, metric in sorted(self._histograms.items())
+            },
+        }
+
+    def dump_json(self, path: str, *, extra: Optional[Dict[str, object]] = None) -> str:
+        """Write the registry (plus optional extra sections) as JSON."""
+        payload = self.to_dict()
+        if extra:
+            payload.update(extra)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+        return path
+
+    def summary(self) -> str:
+        """Human-readable listing for ``--stats`` output."""
+        lines = []
+        if self._counters:
+            lines.append("counters:")
+            for name, metric in sorted(self._counters.items()):
+                lines.append(f"  {name:<32} {metric.value}")
+        if self._gauges:
+            lines.append("gauges:")
+            for name, metric in sorted(self._gauges.items()):
+                lines.append(f"  {name:<32} {metric.value:g}")
+        if self._histograms:
+            lines.append("histograms:")
+            for name, metric in sorted(self._histograms.items()):
+                mean = metric.mean
+                lines.append(
+                    f"  {name:<32} count={metric.count} "
+                    f"min={metric.min:g} mean={mean:.4g} max={metric.max:g}"
+                    if metric.count else f"  {name:<32} count=0"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"

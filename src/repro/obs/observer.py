@@ -1,0 +1,244 @@
+"""The Observer: one object the engine reports everything to.
+
+An :class:`Observer` bundles the three telemetry backends — event sink,
+metrics registry, phase timers — plus an optional progress reporter, and
+exposes the narrow hook surface the engine calls.  The engine takes
+``observer=None`` everywhere and guards every hook with
+``if observer is not None``, so a disabled checker pays a single branch
+per call site and allocates nothing.
+
+Metric names (see ``docs/observability.md`` for the full schema):
+
+* counters — ``executions``, ``transitions``, ``yields``,
+  ``preemptions``, ``backtracks``, ``violations``, ``deadlocks``,
+  ``divergences``, ``divergence.<kind>``, ``decisions.thread``,
+  ``decisions.data``, ``states.new``, ``states.revisited``,
+  ``icb.sweeps``;
+* gauges — ``wall.seconds``, ``rate.executions_per_second``,
+  ``rate.transitions_per_second``;
+* histograms — ``schedulable_set_size``, ``enabled_set_size``,
+  ``steps_per_execution``, ``yields_per_execution``,
+  ``priority_relation_size``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.events import (
+    Backtrack,
+    DivergenceClassified,
+    EventSink,
+    ExecutionFinished,
+    ExecutionStarted,
+    ExplorationFinished,
+    ExplorationStarted,
+    IcbSweep,
+    Preemption,
+    SchedulingDecision,
+    ViolationFound,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressReporter
+from repro.obs.timers import PhaseTimers
+
+
+class Observer:
+    """Aggregates engine telemetry; every hook is cheap and total."""
+
+    def __init__(
+        self,
+        *,
+        sink: Optional[EventSink] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        timers: Optional[PhaseTimers] = None,
+        progress: Optional[ProgressReporter] = None,
+    ) -> None:
+        self.sink = sink
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.timers = timers if timers is not None else PhaseTimers()
+        self.progress = progress
+        self._execution = -1  # index of the execution in flight
+
+        # Pre-bound hot-path instruments (no dict lookup per transition).
+        m = self.metrics
+        self._executions = m.counter("executions")
+        self._transitions = m.counter("transitions")
+        self._yields = m.counter("yields")
+        self._preemptions = m.counter("preemptions")
+        self._decisions_thread = m.counter("decisions.thread")
+        self._decisions_data = m.counter("decisions.data")
+        self._schedulable_size = m.histogram("schedulable_set_size")
+        self._enabled_size = m.histogram("enabled_set_size")
+        self._steps_per_execution = m.histogram("steps_per_execution")
+        self._yields_per_execution = m.histogram("yields_per_execution")
+        self._priority_size = m.histogram("priority_relation_size")
+
+    # ------------------------------------------------------------------
+    # exploration lifecycle
+    # ------------------------------------------------------------------
+    def exploration_started(self, program: str, policy: str,
+                            strategy: str) -> None:
+        if self.sink is not None:
+            self.sink.emit(ExplorationStarted(program=program, policy=policy,
+                                              strategy=strategy))
+
+    def exploration_finished(self, result) -> None:
+        """Called with the final :class:`ExplorationResult`."""
+        m = self.metrics
+        wall = m.gauge("wall.seconds")
+        wall.set(wall.value + result.wall_seconds)
+        total_wall = wall.value or 1e-9
+        m.gauge("rate.executions_per_second").set(
+            self._executions.value / total_wall)
+        m.gauge("rate.transitions_per_second").set(
+            self._transitions.value / total_wall)
+        if self.sink is not None:
+            self.sink.emit(ExplorationFinished(
+                executions=result.executions,
+                transitions=result.transitions,
+                wall_seconds=result.wall_seconds,
+                complete=result.complete,
+                stop_reason=None if not result.limit_hit else "limit",
+            ))
+        if self.progress is not None:
+            self.progress.report(
+                self._executions.value, self._transitions.value,
+                violations=m.counter("violations").value,
+                divergences=m.counter("divergences").value,
+            )
+
+    # ------------------------------------------------------------------
+    # execution lifecycle (called from the executor)
+    # ------------------------------------------------------------------
+    def execution_started(self) -> int:
+        self._execution += 1
+        if self.sink is not None:
+            self.sink.emit(ExecutionStarted(execution=self._execution))
+        return self._execution
+
+    def execution_finished(self, record, *, yields: int = 0) -> None:
+        m = self.metrics
+        self._executions.inc()
+        self._transitions.inc(record.steps)
+        self._yields.inc(yields)
+        self._steps_per_execution.record(record.steps)
+        self._yields_per_execution.record(yields)
+        outcome = record.outcome.value
+        if outcome == "violation":
+            m.counter("violations").inc()
+        elif outcome == "deadlock":
+            m.counter("deadlocks").inc()
+        if self.sink is not None:
+            self.sink.emit(ExecutionFinished(
+                execution=self._execution,
+                outcome=outcome,
+                steps=record.steps,
+                preemptions=record.preemptions,
+                hit_depth_bound=record.hit_depth_bound,
+            ))
+        if self.progress is not None:
+            self.progress.maybe_report(
+                self._executions.value, self._transitions.value,
+                violations=m.counter("violations").value,
+                divergences=m.counter("divergences").value,
+            )
+
+    # ------------------------------------------------------------------
+    # per-transition hooks (called from the executor inner loop)
+    # ------------------------------------------------------------------
+    def decision(self, step: int, kind: str, index: int, options: int,
+                 chosen: object, schedulable: int = 0,
+                 enabled: int = 0) -> None:
+        if kind == "thread":
+            self._decisions_thread.inc()
+            self._schedulable_size.record(schedulable)
+            self._enabled_size.record(enabled)
+        else:
+            self._decisions_data.inc()
+        if self.sink is not None:
+            self.sink.emit(SchedulingDecision(
+                execution=self._execution, step=step, kind=kind,
+                index=index, options=options, chosen=repr(chosen),
+                schedulable=schedulable, enabled=enabled,
+            ))
+
+    def priority_relation(self, size: int) -> None:
+        """Size of the fair policy's priority relation ``P`` at one state."""
+        self._priority_size.record(size)
+
+    def preemption(self, step: int, preempted: object, scheduled: object,
+                   count: int) -> None:
+        self._preemptions.inc()
+        if self.sink is not None:
+            self.sink.emit(Preemption(
+                execution=self._execution, step=step,
+                preempted=repr(preempted), scheduled=repr(scheduled),
+                count=count,
+            ))
+
+    def violation(self, step: int, message: str) -> None:
+        if self.sink is not None:
+            self.sink.emit(ViolationFound(execution=self._execution,
+                                          step=step, message=message))
+
+    def divergence(self, report) -> None:
+        """Called with the :class:`DivergenceReport` of one execution."""
+        self.metrics.counter("divergences").inc()
+        self.metrics.counter(f"divergence.{report.kind.value}").inc()
+        if self.sink is not None:
+            self.sink.emit(DivergenceClassified(
+                execution=self._execution,
+                kind=report.kind.value,
+                culprits=tuple(report.culprits),
+                window=report.window,
+                detail=report.detail,
+            ))
+
+    # ------------------------------------------------------------------
+    # strategy hooks
+    # ------------------------------------------------------------------
+    def backtrack(self, depth: int) -> None:
+        self.metrics.counter("backtracks").inc()
+        if self.sink is not None:
+            self.sink.emit(Backtrack(execution=self._execution, depth=depth))
+
+    def icb_sweep(self, bound: int, result) -> None:
+        self.metrics.counter("icb.sweeps").inc()
+        self.metrics.gauge("icb.last_bound").set(bound)
+        if self.sink is not None:
+            self.sink.emit(IcbSweep(
+                bound=bound,
+                executions=result.executions,
+                transitions=result.transitions,
+                found_violation=result.found_violation,
+                wall_seconds=result.wall_seconds,
+            ))
+
+    # ------------------------------------------------------------------
+    # coverage hooks
+    # ------------------------------------------------------------------
+    def state_hashed(self, fresh: bool) -> None:
+        name = "states.new" if fresh else "states.revisited"
+        self.metrics.counter(name).inc()
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """The ``--stats`` text: phase table plus metrics listing."""
+        return "\n".join([
+            "phase timings:",
+            self.timers.summary(),
+            "",
+            self.metrics.summary(),
+        ])
+
+    def dump_json(self, path: str) -> str:
+        """Write metrics + phase timers as one JSON document."""
+        return self.metrics.dump_json(
+            path, extra={"phases": self.timers.to_dict()})
+
+    def close(self) -> None:
+        if self.sink is not None:
+            self.sink.close()

@@ -1,0 +1,57 @@
+"""Periodic progress reporting for long explorations.
+
+Large searches run for minutes to hours; the reporter prints one status
+line at most every ``interval_seconds``, driven by the per-execution
+callback (no background thread — the checker is deterministic and should
+stay that way).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, Optional
+
+
+class ProgressReporter:
+    """Rate-limited status lines on a stream (stderr by default)."""
+
+    def __init__(
+        self,
+        interval_seconds: float = 1.0,
+        stream: Optional[IO[str]] = None,
+        clock=time.perf_counter,
+    ) -> None:
+        self.interval_seconds = interval_seconds
+        self.stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self._start = clock()
+        self._last_emit: Optional[float] = None
+        self.lines_emitted = 0
+
+    def maybe_report(self, executions: int, transitions: int, *,
+                     violations: int = 0, divergences: int = 0) -> bool:
+        """Emit a line if the interval elapsed; returns True when it did."""
+        now = self._clock()
+        if (self._last_emit is not None
+                and now - self._last_emit < self.interval_seconds):
+            return False
+        self.report(executions, transitions, violations=violations,
+                    divergences=divergences, now=now)
+        return True
+
+    def report(self, executions: int, transitions: int, *,
+               violations: int = 0, divergences: int = 0,
+               now: Optional[float] = None) -> None:
+        now = self._clock() if now is None else now
+        elapsed = max(now - self._start, 1e-9)
+        self.stream.write(
+            f"[progress] executions={executions} transitions={transitions} "
+            f"violations={violations} divergences={divergences} "
+            f"exec/s={executions / elapsed:.1f} "
+            f"trans/s={transitions / elapsed:.0f} "
+            f"elapsed={elapsed:.1f}s\n"
+        )
+        self.stream.flush()
+        self._last_emit = now
+        self.lines_emitted += 1

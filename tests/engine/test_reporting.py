@@ -94,3 +94,48 @@ class TestSummary:
         text = format_thread_summary([step("worker", "op")])
         assert "worker" in text
         assert "transitions" in text
+
+    def test_sorted_by_transitions_descending(self):
+        trace = ([step("rare", "op")] + [step("busy", "op")] * 5
+                 + [step("mid", "op")] * 3)
+        names = [row[0] for row in thread_summary(trace)]
+        assert names == ["busy", "mid", "rare"]
+
+    def test_empty_trace(self):
+        assert thread_summary([]) == []
+        assert "transitions" in format_thread_summary([])
+
+
+class TestDiffEdges:
+    def test_same_tid_different_operation_diverges(self):
+        left = [step("a", "acquire(m)")]
+        right = [step("a", "release(m)")]
+        assert first_divergence(left, right) == 0
+        assert "diverge at step 0" in diff_traces(left, right)
+
+    def test_context_clamped_to_trace_bounds(self):
+        left = [step("a", f"op{i}") for i in range(10)]
+        right = left[:5] + [step("b", "other")] + left[6:]
+        text = diff_traces(left, right, context=100)
+        lines = text.splitlines()
+        # header + note + one row per step, no out-of-range rows
+        assert len(lines) == 2 + 10
+        assert ">>   5" in text
+
+    def test_both_empty(self):
+        assert diff_traces([], []) == "traces are identical"
+
+    def test_one_empty_notes_continuation(self):
+        text = diff_traces([step("a", "op")], [])
+        assert "agree for 0 steps" in text
+        assert "left continues" in text
+
+    def test_missing_rows_render_placeholder(self):
+        text = diff_traces([step("a", "op1"), step("a", "op2")],
+                           [step("a", "op1")])
+        assert text.splitlines()[-1].rstrip().endswith("-")
+
+    def test_yield_marker_rendered(self):
+        text = diff_traces([step("a", "yield", yielded=True)],
+                           [step("a", "op")])
+        assert "[yield]" in text

@@ -3,7 +3,8 @@
 import pytest
 
 from repro import Checker, CheckResult, check
-from repro.engine.results import DivergenceKind
+from repro.checker import _merge_sweeps
+from repro.engine.results import DivergenceKind, ExplorationResult
 from repro.workloads.dining import (
     dining_philosophers,
     dining_philosophers_livelock,
@@ -123,6 +124,61 @@ class TestStrategies:
         # Round-robin is fair: the spin loop terminates.
         assert result.ok
         assert result.exploration.executions == 1  # deterministic!
+
+
+class TestMergeSweeps:
+    """Regression: the merged first-violation index must be offset by the
+    executions of *earlier* sweeps only, not the running total."""
+
+    @staticmethod
+    def _sweep(executions, first_violation=None):
+        from repro.engine.results import ExecutionResult, Outcome
+
+        result = ExplorationResult(program_name="p", policy_name="fair",
+                                   strategy_name="dfs(cb=0)",
+                                   executions=executions,
+                                   complete=True)
+        if first_violation is not None:
+            result.first_violation_execution = first_violation
+            result.violations.append(
+                ExecutionResult(outcome=Outcome.VIOLATION, decisions=[],
+                                steps=1))
+        return result
+
+    def test_violation_index_offset_by_earlier_sweeps(self):
+        merged = _merge_sweeps("p", "fair", [
+            self._sweep(10),
+            self._sweep(7, first_violation=3),
+        ])
+        # 10 executions in sweep 0, then 3 more into sweep 1.
+        assert merged.first_violation_execution == 13
+        assert merged.executions == 17
+        assert merged.found_violation
+
+    def test_first_sweep_with_violation_wins(self):
+        merged = _merge_sweeps("p", "fair", [
+            self._sweep(5, first_violation=2),
+            self._sweep(9, first_violation=0),
+        ])
+        assert merged.first_violation_execution == 2
+        assert len(merged.violations) == 2
+
+    def test_no_violation_leaves_none(self):
+        merged = _merge_sweeps("p", "fair", [self._sweep(4), self._sweep(6)])
+        assert merged.first_violation_execution is None
+        assert merged.executions == 10
+        assert merged.complete
+
+    def test_checker_icb_reports_global_index(self):
+        result = check(work_stealing_queue(items=1, stealers=1, bug=1),
+                       strategy="icb", preemption_bound=2, depth_bound=300)
+        assert not result.ok
+        first = result.exploration.first_violation_execution
+        assert first is not None
+        # A global (1-based) count: at most the executions actually run.
+        # Before the fix this overcounted by the executions of the final
+        # sweep, exceeding the total.
+        assert 0 < first <= result.exploration.executions
 
 
 class TestLimits:

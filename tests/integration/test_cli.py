@@ -107,3 +107,63 @@ class TestReproRoundTrip:
                 "replay", repro_file,
                 "repro.workloads.spinloop:spinloop",
             ])
+
+
+class TestTelemetryFlags:
+    DINING = ["check", "repro.workloads.dining:dining_philosophers",
+              "-a", "2", "--depth-bound", "300"]
+
+    def test_stats_prints_phases_and_metrics(self, capsys):
+        assert main(self.DINING + ["--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "phase timings" in out
+        for phase in ("policy", "schedule", "execute"):
+            assert phase in out
+        assert "executions" in out
+
+    def test_metrics_json_export(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "metrics.json")
+        assert main(self.DINING + ["--metrics-json", path]) == 0
+        assert "metrics written to" in capsys.readouterr().out
+        data = json.loads(open(path).read())
+        assert data["counters"]["executions"] >= 1
+        assert data["counters"]["transitions"] >= 1
+        assert "policy" in data["phases"]
+        # The acceptance bar: at least 8 distinct metrics exported.
+        names = (list(data["counters"]) + list(data["gauges"])
+                 + list(data["histograms"]))
+        assert len(names) >= 8
+
+    def test_trace_out_recovers_the_schedule(self, tmp_path, capsys):
+        from repro.obs import read_jsonl, schedule_from_events
+
+        path = str(tmp_path / "trace.jsonl")
+        code = main([
+            "check",
+            "repro.workloads.wsq:work_stealing_queue",
+            "-a", "1", "-a", "1", "-a", "1",
+            "--preemption-bound", "2", "--depth-bound", "300",
+            "--trace-out", path,
+        ])
+        assert code == 1
+        assert "event trace written" in capsys.readouterr().out
+        events = list(read_jsonl(path))
+        # The decision events of the failing execution form a replayable
+        # guide (replay itself is covered in tests/obs/test_observer.py).
+        guide = schedule_from_events(events)
+        assert guide
+
+    def test_progress_writes_to_stderr(self, capsys):
+        assert main(self.DINING + ["--progress",
+                                   "--progress-interval", "0"]) == 0
+        err = capsys.readouterr().err
+        assert "[progress]" in err
+        assert "exec/s=" in err
+
+    def test_no_flags_no_observer(self, capsys):
+        assert main(self.DINING) == 0
+        out = capsys.readouterr().out
+        assert "phase timings" not in out
+        assert "metrics written" not in out

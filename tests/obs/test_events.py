@@ -1,0 +1,108 @@
+"""Event model, sinks and the JSONL trace writer."""
+
+import io
+
+import pytest
+
+from repro.obs.events import (
+    CallbackSink,
+    CollectingSink,
+    DivergenceClassified,
+    ExecutionFinished,
+    MultiSink,
+    SchedulingDecision,
+    event_from_dict,
+)
+from repro.obs.trace import JsonlTraceWriter, read_jsonl, schedule_from_events
+
+
+def decision(execution=0, step=0, index=0, options=2):
+    return SchedulingDecision(execution=execution, step=step, kind="thread",
+                              index=index, options=options, chosen="'t'",
+                              schedulable=2, enabled=2)
+
+
+class TestEvents:
+    def test_to_dict_includes_type(self):
+        d = decision().to_dict()
+        assert d["type"] == "scheduling.decision"
+        assert d["index"] == 0 and d["options"] == 2
+
+    def test_roundtrip_via_dict(self):
+        original = DivergenceClassified(execution=3, kind="livelock",
+                                        culprits=("a", "b"), window=64,
+                                        detail="spins")
+        restored = event_from_dict(original.to_dict())
+        assert restored == original
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            event_from_dict({"type": "nope"})
+
+
+class TestSinks:
+    def test_collecting_sink_filters_by_type(self):
+        sink = CollectingSink()
+        sink.emit(decision())
+        sink.emit(ExecutionFinished(execution=0, outcome="terminated",
+                                    steps=3, preemptions=0,
+                                    hit_depth_bound=False))
+        assert len(sink.events) == 2
+        assert len(sink.of_type(SchedulingDecision)) == 1
+
+    def test_callback_and_multi_sink(self):
+        seen = []
+        collecting = CollectingSink()
+        fan = MultiSink(CallbackSink(seen.append), collecting)
+        fan.emit(decision())
+        assert len(seen) == 1
+        assert len(collecting.events) == 1
+        fan.close()  # must not raise
+
+
+class TestJsonlTrace:
+    def test_writer_reader_roundtrip(self):
+        buffer = io.StringIO()
+        writer = JsonlTraceWriter(buffer)
+        events = [decision(step=i, index=i % 2) for i in range(3)]
+        for event in events:
+            writer.emit(event)
+        writer.close()
+        assert writer.events_written == 3
+        restored = list(read_jsonl(io.StringIO(buffer.getvalue())))
+        assert restored == events
+
+    def test_writer_owns_file_path(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        writer = JsonlTraceWriter(path)
+        writer.emit(decision())
+        writer.close()
+        assert len(list(read_jsonl(path))) == 1
+
+
+class TestScheduleFromEvents:
+    def _trace(self):
+        return [
+            decision(execution=0, step=0, index=0),
+            ExecutionFinished(execution=0, outcome="terminated", steps=1,
+                              preemptions=0, hit_depth_bound=False),
+            decision(execution=1, step=0, index=1),
+            decision(execution=1, step=1, index=0),
+            ExecutionFinished(execution=1, outcome="violation", steps=2,
+                              preemptions=0, hit_depth_bound=False),
+        ]
+
+    def test_defaults_to_interesting_execution(self):
+        assert schedule_from_events(self._trace()) == [1, 0]
+
+    def test_explicit_execution_index(self):
+        assert schedule_from_events(self._trace(), execution=0) == [0]
+
+    def test_missing_execution_raises(self):
+        with pytest.raises(ValueError):
+            schedule_from_events(self._trace(), execution=9)
+
+    def test_no_interesting_execution_raises(self):
+        events = [decision(execution=0)]
+        with pytest.raises(ValueError):
+            schedule_from_events(events)

@@ -1,0 +1,99 @@
+"""Metrics registry: counters, gauges, histograms, timers, export."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("x")
+        g.set(3.5)
+        g.set(-1.0)
+        assert g.value == -1.0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("sizes")
+        for v in (1, 2, 2, 8):
+            h.record(v)
+        assert h.count == 4
+        assert h.total == 13
+        assert h.min == 1 and h.max == 8
+        assert h.mean == pytest.approx(3.25)
+
+    def test_power_of_two_buckets(self):
+        h = Histogram("sizes")
+        for v in (1, 2, 3, 4, 0):
+            h.record(v)
+        d = h.to_dict()
+        assert d["buckets"]["2^0"] == 1  # value 1
+        assert d["buckets"]["2^1"] == 2  # values 2, 3
+        assert d["buckets"]["2^2"] == 1  # value 4
+        assert d["buckets"]["<=0"] == 1  # value 0
+
+    def test_empty_histogram(self):
+        h = Histogram("empty")
+        assert h.mean is None
+        assert h.to_dict()["count"] == 0
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert len(reg) == 2
+
+    def test_namespaces_are_per_type(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        reg.gauge("n").set(2)
+        assert reg.to_dict()["counters"]["n"] == 1
+        assert reg.to_dict()["gauges"]["n"] == 2
+
+    def test_timer_records_and_exposes_seconds(self):
+        reg = MetricsRegistry()
+        with reg.timer("work") as t:
+            sum(range(1000))
+        assert t.seconds > 0
+        hist = reg.histogram("work.seconds")
+        assert hist.count == 1
+        assert hist.total == pytest.approx(t.seconds)
+
+    def test_dump_json_roundtrip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("executions").inc(7)
+        reg.gauge("wall.seconds").set(1.25)
+        reg.histogram("sizes").record(3)
+        path = str(tmp_path / "metrics.json")
+        reg.dump_json(path, extra={"phases": {"policy": {"seconds": 0.5}}})
+        data = json.loads(open(path).read())
+        assert data["counters"]["executions"] == 7
+        assert data["gauges"]["wall.seconds"] == 1.25
+        assert data["histograms"]["sizes"]["count"] == 1
+        assert data["phases"]["policy"]["seconds"] == 0.5
+
+    def test_summary_mentions_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("executions").inc()
+        reg.gauge("wall.seconds").set(0.5)
+        reg.histogram("sizes").record(2)
+        text = reg.summary()
+        for name in ("executions", "wall.seconds", "sizes"):
+            assert name in text
+
+    def test_empty_summary(self):
+        assert "no metrics" in MetricsRegistry().summary()
