@@ -42,44 +42,23 @@ from repro.engine.results import (
     format_trace,
 )
 from repro.engine.strategies import (
+    BfsStrategy,
+    DfsStrategy,
     ExplorationLimits,
-    explore_bfs,
-    explore_dfs,
-    explore_random,
-    iterative_context_bounding,
+    IcbStrategy,
+    RandomWalkStrategy,
+    SleepSetStrategy,
+    merge_sweeps,
+)
+from repro.resilience import (
+    GracefulStop,
+    ResilienceController,
+    ResilienceOptions,
+    load_checkpoint,
 )
 
-
-def _merge_sweeps(program_name: str, policy_name: str,
-                  sweeps) -> ExplorationResult:
-    """Fold the per-bound results of an ICB sweep into one summary."""
-    merged = ExplorationResult(
-        program_name=program_name,
-        policy_name=policy_name,
-        strategy_name=f"icb(<= {len(sweeps) - 1})",
-    )
-    for result in sweeps:
-        executions_before = merged.executions
-        merged.executions += result.executions
-        merged.transitions += result.transitions
-        merged.outcomes.update(result.outcomes)
-        merged.violations.extend(result.violations)
-        merged.deadlocks.extend(result.deadlocks)
-        merged.divergences.extend(result.divergences)
-        merged.nonterminating_executions += result.nonterminating_executions
-        merged.wall_seconds += result.wall_seconds
-        merged.limit_hit = merged.limit_hit or result.limit_hit
-        if (result.first_violation_execution is not None
-                and merged.first_violation_execution is None):
-            # Offset the sweep-local index by the executions of all
-            # earlier sweeps (not by the cumulative total after this
-            # sweep, which would overcount).
-            merged.first_violation_execution = (
-                executions_before + result.first_violation_execution)
-    merged.complete = all(result.complete for result in sweeps)
-    if sweeps and sweeps[-1].states_covered is not None:
-        merged.states_covered = sweeps[-1].states_covered
-    return merged
+#: Back-compat alias (the merge logic moved to the strategies package).
+_merge_sweeps = merge_sweeps
 
 #: Divergence kinds that indicate program errors (as opposed to the
 #: unfair divergences a baseline unfair search wastes time on).
@@ -101,8 +80,11 @@ class CheckResult:
     # ------------------------------------------------------------------
     @property
     def ok(self) -> bool:
-        """No safety violation, no deadlock and no erroneous divergence."""
+        """No safety violation, no deadlock, no crash and no erroneous
+        divergence."""
         if self.exploration.found_violation:
+            return False
+        if self.exploration.crashes:
             return False
         return not any(
             r.divergence and r.divergence.kind in _ERROR_DIVERGENCES
@@ -110,11 +92,23 @@ class CheckResult:
         )
 
     @property
+    def interrupted(self) -> bool:
+        """The search stopped early on SIGINT/SIGTERM; results are partial."""
+        return self.exploration.interrupted
+
+    @property
     def violation(self) -> Optional[ExecutionResult]:
         if self.exploration.violations:
             return self.exploration.violations[0]
         if self.exploration.deadlocks:
             return self.exploration.deadlocks[0]
+        return None
+
+    @property
+    def crashed(self) -> Optional[ExecutionResult]:
+        """First quarantined crash, when crash capture was enabled."""
+        if self.exploration.crashes:
+            return self.exploration.crashes[0]
         return None
 
     @property
@@ -145,6 +139,10 @@ class CheckResult:
         for divergent in self.exploration.divergences[:1]:
             lines.append(f"divergent execution ({divergent.divergence}):")
             lines.append(format_trace(divergent.trace, limit=trace_limit))
+        for crashed in self.exploration.crashes[:1]:
+            lines.append(f"quarantined crash ({crashed.crash}):")
+            lines.append(format_trace(crashed.trace, limit=trace_limit))
+            lines.append(f"replay schedule: {crashed.schedule}")
         lines.extend(f"warning: {w}" for w in self.warnings)
         verdict = "PASS" if self.ok else "FAIL"
         lines.append(f"verdict: {verdict}")
@@ -173,6 +171,12 @@ class Checker:
         seed: int = 0,
         policy_factory: Optional[PolicyFactory] = None,
         observer: Optional["Observer"] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_interval: int = 200,
+        execution_budget_seconds: Optional[float] = None,
+        max_crashes: Optional[int] = None,
+        quarantine_dir: Optional[str] = None,
+        handle_signals: bool = True,
     ) -> None:
         self.program = program
         self.fairness = fairness
@@ -190,58 +194,125 @@ class Checker:
         self.seed = seed
         self.coverage = (CoverageTracker(observer=observer)
                          if collect_coverage else None)
+        self.resilience_options = ResilienceOptions(
+            checkpoint_path=checkpoint_path,
+            checkpoint_interval=checkpoint_interval,
+            execution_budget_seconds=execution_budget_seconds,
+            max_crashes=max_crashes,
+            quarantine_dir=quarantine_dir,
+            handle_signals=handle_signals,
+        )
         self.config = ExecutorConfig(
             depth_bound=depth_bound,
             on_depth_exceeded="divergence" if fairness else nonfair_completion,
             preemption_bound=preemption_bound,
             seed=seed,
+            execution_budget_seconds=execution_budget_seconds,
+            capture_crashes=self.resilience_options.capture_crashes,
         )
         self.limits = ExplorationLimits(
             max_executions=max_executions,
             max_seconds=max_seconds,
             stop_on_first_violation=stop_on_first_violation,
             stop_on_first_divergence=stop_on_first_divergence,
+            max_crashes=max_crashes,
         )
 
-    def run(self) -> CheckResult:
+    def _make_strategy(self, resilience=None):
+        """Build the strategy object for this checker's configuration."""
         if self.strategy == "dfs":
-            exploration = explore_dfs(
+            return DfsStrategy(
                 self.program, self.policy_factory, self.config, self.limits,
                 coverage=self.coverage, observer=self.observer,
+                resilience=resilience,
             )
-        elif self.strategy == "icb":
+        if self.strategy == "icb":
             # Iterative context bounding: sweep preemption bounds 0..max
             # (the PLDI'07 strategy); `preemption_bound` is the ceiling.
             ceiling = (self.config.preemption_bound
                        if self.config.preemption_bound is not None else 2)
-            sweeps = iterative_context_bounding(
+            return IcbStrategy(
                 self.program, self.policy_factory, ceiling,
                 dataclasses.replace(self.config, preemption_bound=None),
                 self.limits, coverage=self.coverage,
                 stop_on_violation=self.limits.stop_on_first_violation,
-                observer=self.observer,
+                observer=self.observer, resilience=resilience,
             )
-            exploration = _merge_sweeps(self.program.name,
-                                        self.policy_factory().name, sweeps)
-        elif self.strategy == "bfs":
-            exploration = explore_bfs(
+        if self.strategy == "bfs":
+            return BfsStrategy(
                 self.program, self.policy_factory, self.config, self.limits,
                 coverage=self.coverage, observer=self.observer,
+                resilience=resilience,
             )
-        elif self.strategy == "random":
-            exploration = explore_random(
+        if self.strategy == "random":
+            return RandomWalkStrategy(
                 self.program, self.policy_factory, self.config, self.limits,
                 executions=self.random_executions, seed=self.seed,
                 coverage=self.coverage, observer=self.observer,
+                resilience=resilience,
             )
+        if self.strategy == "por":
+            return SleepSetStrategy(
+                self.program, self.policy_factory,
+                depth_bound=self.config.depth_bound, limits=self.limits,
+                coverage=self.coverage, observer=self.observer,
+                resilience=resilience,
+            )
+        raise ValueError(
+            f"unknown strategy {self.strategy!r} "
+            f"(expected 'dfs', 'icb', 'bfs', 'random' or 'por')"
+        )
+
+    def run(self, *, resume_from: Optional[str] = None) -> CheckResult:
+        """Run the search; ``resume_from`` continues a saved checkpoint.
+
+        With any resilience option set (checkpointing, watchdog, crash
+        quarantine) the search also converts the first SIGINT/SIGTERM
+        into a graceful stop: a final checkpoint is flushed and the
+        partial results come back with ``stop_reason="interrupted"``.
+        """
+        options = self.resilience_options
+        controller = None
+        if options.enabled or resume_from is not None:
+            controller = ResilienceController(
+                options,
+                program=self.program,
+                policy_name=self.policy_factory().name,
+                config=self.config,
+                observer=self.observer,
+            )
+        strategy = self._make_strategy(resilience=controller)
+        if resume_from is not None:
+            payload = load_checkpoint(resume_from)
+            recorded = payload.get("program")
+            if recorded not in (None, self.program.name):
+                raise ValueError(
+                    f"checkpoint was recorded for program {recorded!r}, "
+                    f"got {self.program.name!r}"
+                )
+            strategy.load_state_dict(payload["state"])
+
+        if controller is not None and options.handle_signals:
+            with GracefulStop() as stop:
+                controller.attach_stop(stop)
+                raw = strategy.explore()
         else:
-            raise ValueError(
-                f"unknown strategy {self.strategy!r} "
-                f"(expected 'dfs', 'icb', 'bfs' or 'random')"
-            )
+            raw = strategy.explore()
+
+        if self.strategy == "icb":
+            exploration = merge_sweeps(self.program.name,
+                                       self.policy_factory().name, raw)
+        else:
+            exploration = raw
 
         warnings: List[str] = []
-        if exploration.limit_hit:
+        if exploration.interrupted:
+            note = "search interrupted; results are partial"
+            if options.checkpoint_path is not None:
+                note += (f" (resume with the checkpoint at "
+                         f"{options.checkpoint_path})")
+            warnings.append(note)
+        elif exploration.limit_hit:
             warnings.append(
                 "search stopped by a resource limit before exhausting the "
                 "bounded execution tree"

@@ -23,6 +23,7 @@ import argparse
 import ast
 import importlib
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.checker import Checker
@@ -107,7 +108,7 @@ def _add_checker_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-fairness", action="store_true",
                         help="use the classical unfair scheduler")
     parser.add_argument("--strategy", default="dfs",
-                        choices=["dfs", "icb", "bfs", "random"])
+                        choices=["dfs", "icb", "bfs", "random", "por"])
     parser.add_argument("--depth-bound", type=int, default=5000,
                         help="divergence bound (fair) / prune bound (unfair)")
     parser.add_argument("--preemption-bound", type=int, default=None,
@@ -141,6 +142,28 @@ def _add_checker_options(parser: argparse.ArgumentParser) -> None:
     telemetry.add_argument("--progress-interval", type=float, default=1.0,
                            metavar="SECONDS",
                            help="minimum seconds between progress lines")
+    resilience = parser.add_argument_group(
+        "resilience", "long-search armor (docs/resilience.md)")
+    resilience.add_argument("--checkpoint", metavar="PATH",
+                            help="write periodic search checkpoints to PATH "
+                                 "(atomic; also flushed on SIGINT/SIGTERM)")
+    resilience.add_argument("--checkpoint-interval", type=int, default=200,
+                            metavar="N",
+                            help="executions between periodic checkpoints")
+    resilience.add_argument("--resume", action="store_true",
+                            help="resume from --checkpoint if it exists "
+                                 "(starts fresh otherwise)")
+    resilience.add_argument("--execution-budget", type=float, default=None,
+                            metavar="SECONDS",
+                            help="wall-clock budget per execution; hung "
+                                 "executions are aborted, not fatal")
+    resilience.add_argument("--max-crashes", type=int, default=None,
+                            metavar="N",
+                            help="capture crashing executions as quarantined "
+                                 "findings and stop after N of them")
+    resilience.add_argument("--quarantine-dir", metavar="DIR",
+                            help="save each quarantined crash's schedule as "
+                                 "a repro file in DIR")
 
 
 def _make_observer(options: argparse.Namespace):
@@ -172,13 +195,26 @@ def _make_checker(program: Program, options: argparse.Namespace) -> Checker:
         collect_coverage=options.coverage,
         seed=options.seed,
         observer=_make_observer(options),
+        checkpoint_path=options.checkpoint,
+        checkpoint_interval=options.checkpoint_interval,
+        execution_budget_seconds=options.execution_budget,
+        max_crashes=options.max_crashes,
+        quarantine_dir=options.quarantine_dir,
     )
 
 
 def _report_and_save(program: Program, checker: Checker,
                      options: argparse.Namespace) -> int:
+    resume_from = None
+    if getattr(options, "resume", False):
+        if not options.checkpoint:
+            raise SystemExit("--resume needs --checkpoint PATH")
+        if Path(options.checkpoint).exists():
+            resume_from = options.checkpoint
+        # A missing checkpoint starts fresh, so the same command line is
+        # idempotent: first run searches, reruns resume.
     try:
-        result = checker.run()
+        result = checker.run(resume_from=resume_from)
     finally:
         if checker.observer is not None:
             checker.observer.close()
@@ -201,6 +237,10 @@ def _report_and_save(program: Program, checker: Checker,
             config=checker.config,
         )
         print(f"repro file written to {path}")
+    if result.interrupted:
+        # Conventional exit code for a SIGINT-terminated process; the
+        # partial verdict above still tells the operator what was seen.
+        return 130
     return 0 if result.ok else 1
 
 

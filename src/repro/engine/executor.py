@@ -35,7 +35,7 @@ from repro.engine.results import (
     Outcome,
     TraceStep,
 )
-from repro.runtime.errors import PropertyViolation
+from repro.runtime.errors import ExecutionHung, PropertyViolation, TaskCrash
 
 
 def _temporal_verdict(instance: ProgramInstance) -> Optional[DivergenceReport]:
@@ -149,6 +149,17 @@ class ExecutorConfig:
     #: Keep the final program instance on the result (skips instance
     #: teardown; used by post-mortem inspection like deadlock reports).
     keep_instance: bool = False
+    #: Wall-clock budget for one execution, in seconds (None = no
+    #: watchdog).  An execution that exceeds it is aborted with
+    #: :attr:`~repro.engine.results.Outcome.ABORTED` and the search moves
+    #: on; native runtimes additionally get a per-step timeout so a thread
+    #: hung inside a blocking operation cannot stall the checker.
+    execution_budget_seconds: Optional[float] = None
+    #: Capture crashes (``TaskCrash`` or any unexpected exception raised
+    #: while stepping) as :attr:`~repro.engine.results.Outcome.CRASHED`
+    #: records instead of letting them propagate.  Off by default: legacy
+    #: behavior treats a task crash as a property violation.
+    capture_crashes: bool = False
 
 
 def _sorted_options(values) -> list:
@@ -176,6 +187,16 @@ def run_execution(
     objects are touched on the hot path.
     """
     instance = program.instantiate()
+    deadline: Optional[float] = None
+    if config.execution_budget_seconds is not None:
+        deadline = perf_counter() + config.execution_budget_seconds
+        if hasattr(instance, "step_timeout"):
+            # Native runtimes also time out individual blocked steps, so a
+            # thread hung in a blocking operation cannot stall the search
+            # past roughly twice the budget.
+            instance.step_timeout = config.execution_budget_seconds
+    if observer is not None and hasattr(instance, "observer"):
+        instance.observer = observer
     for tid in _sorted_options(instance.thread_ids()):
         policy.register_thread(tid)
 
@@ -190,6 +211,8 @@ def run_execution(
     completing_randomly = False
     completion_chooser: Optional[Chooser] = None
     violation: Optional[PropertyViolation] = None
+    crash: Optional[BaseException] = None
+    abort_reason: Optional[str] = None
     outcome = Outcome.TERMINATED
     divergence = None
     timers = observer.timers if observer is not None else None
@@ -234,6 +257,15 @@ def run_execution(
         return name
 
     while True:
+        if deadline is not None and perf_counter() > deadline:
+            outcome = Outcome.ABORTED
+            abort_reason = (
+                f"execution exceeded its "
+                f"{config.execution_budget_seconds:g}s wall-clock budget"
+            )
+            if observer is not None:
+                observer.execution_aborted(steps, abort_reason)
+            break
         if coverage is not None:
             if timers is not None:
                 t0 = perf_counter()
@@ -360,6 +392,38 @@ def run_execution(
                 local_monitor()
             for temporal in getattr(instance, "temporal_monitors", ()):
                 temporal.observe()
+        except ExecutionHung as exc:
+            outcome = Outcome.ABORTED
+            abort_reason = str(exc)
+            trace.append(TraceStep(tid, thread_name(tid), f"⌛ {exc}", False,
+                                   enabled))
+            if timers is not None:
+                timers.add("execute", perf_counter() - t0)
+            if observer is not None:
+                observer.execution_aborted(steps, abort_reason)
+            break
+        except TaskCrash as exc:
+            if not config.capture_crashes:
+                # Legacy behavior: a crashing task is a property violation
+                # (TaskCrash subclasses PropertyViolation).
+                violation = exc
+                outcome = Outcome.VIOLATION
+                trace.append(TraceStep(tid, thread_name(tid), f"† {exc}",
+                                       False, enabled))
+                steps += 1
+                if timers is not None:
+                    timers.add("execute", perf_counter() - t0)
+                if observer is not None:
+                    observer.violation(steps, str(exc))
+                break
+            crash = exc
+            outcome = Outcome.CRASHED
+            trace.append(TraceStep(tid, thread_name(tid), f"✗ crash: {exc}",
+                                   False, enabled))
+            steps += 1
+            if timers is not None:
+                timers.add("execute", perf_counter() - t0)
+            break
         except PropertyViolation as exc:
             violation = exc
             outcome = Outcome.VIOLATION
@@ -370,6 +434,17 @@ def run_execution(
                 timers.add("execute", perf_counter() - t0)
             if observer is not None:
                 observer.violation(steps, str(exc))
+            break
+        except Exception as exc:  # noqa: BLE001 - quarantine boundary
+            if not config.capture_crashes:
+                raise
+            crash = exc
+            outcome = Outcome.CRASHED
+            trace.append(TraceStep(tid, thread_name(tid), f"✗ crash: {exc}",
+                                   False, enabled))
+            steps += 1
+            if timers is not None:
+                timers.add("execute", perf_counter() - t0)
             break
 
         if timers is not None:
@@ -399,6 +474,8 @@ def run_execution(
         trace=tuple(trace),
         hit_depth_bound=hit_depth_bound,
         completed_randomly=completed_randomly,
+        crash=crash,
+        abort_reason=abort_reason,
     )
     if config.keep_instance:
         result.final_instance = instance

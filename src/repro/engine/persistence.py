@@ -20,6 +20,7 @@ recorded name and decision count.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict
 from pathlib import Path
 from typing import Optional, Union
@@ -68,19 +69,41 @@ def schedule_to_dict(program: Program, record: ExecutionResult, *,
 def save_schedule(path: Union[str, Path], program: Program,
                   record: ExecutionResult, *, policy_name: str = "",
                   config: Optional[ExecutorConfig] = None) -> Path:
-    """Write a repro file; returns the path."""
+    """Write a repro file; returns the path.
+
+    The write is atomic (temp file + rename in the same directory), so a
+    crash or SIGKILL mid-write can never leave a truncated repro file
+    behind — the previous file, if any, survives intact.
+    """
     path = Path(path)
-    path.write_text(json.dumps(
+    text = json.dumps(
         schedule_to_dict(program, record, policy_name=policy_name,
                          config=config),
         indent=2, sort_keys=True,
-    ) + "\n")
+    ) + "\n"
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
     return path
 
 
 def load_schedule(path: Union[str, Path]) -> dict:
-    """Read and validate a repro file."""
-    payload = json.loads(Path(path).read_text())
+    """Read and validate a repro file.
+
+    Raises :class:`ValueError` with a clear message when the file is
+    truncated/corrupt, has an unknown format version, or lacks a
+    schedule.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"repro file {path} is truncated or corrupt: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ValueError(f"repro file {path} is truncated or corrupt: "
+                         f"expected a JSON object")
     if payload.get("format") != FORMAT_VERSION:
         raise ValueError(
             f"unsupported repro-file format {payload.get('format')!r}"

@@ -21,6 +21,8 @@ class Outcome(enum.Enum):
     DIVERGENCE = "divergence"  # depth bound exceeded in fair mode (warning)
     DEPTH_PRUNED = "depth-pruned"  # depth bound exceeded, execution cut short
     VISITED_PRUNED = "visited-pruned"  # stateful pruning hit a known state
+    CRASHED = "crashed"  # quarantined crash (capture_crashes mode)
+    ABORTED = "aborted"  # watchdog cut a hung execution short
 
 
 @dataclass(frozen=True)
@@ -89,6 +91,11 @@ class ExecutionResult:
     trace: Sequence[TraceStep] = ()
     hit_depth_bound: bool = False
     completed_randomly: bool = False
+    #: The exception behind an :attr:`Outcome.CRASHED` record (crash
+    #: quarantine mode); None otherwise.
+    crash: Optional[BaseException] = None
+    #: Why an :attr:`Outcome.ABORTED` execution was cut short (watchdog).
+    abort_reason: Optional[str] = None
     #: The live program instance at the end of the run; only populated
     #: when ``ExecutorConfig.keep_instance`` is set (post-mortem
     #: inspection, e.g. deadlock explanations).
@@ -113,6 +120,10 @@ class ExplorationResult:
     violations: List[ExecutionResult] = field(default_factory=list)
     divergences: List[ExecutionResult] = field(default_factory=list)
     deadlocks: List[ExecutionResult] = field(default_factory=list)
+    #: Executions that crashed and were quarantined (crash-capture mode).
+    crashes: List[ExecutionResult] = field(default_factory=list)
+    #: Executions the watchdog aborted for exceeding their time budget.
+    aborted_executions: int = 0
     #: Executions that hit the depth bound (the paper's "nonterminating
     #: executions" measure of Figure 2).
     nonterminating_executions: int = 0
@@ -121,6 +132,10 @@ class ExplorationResult:
     complete: bool = False
     #: True when a resource limit (executions/time) stopped the search.
     limit_hit: bool = False
+    #: Why the search stopped early ("violation", "divergence",
+    #: "max-executions", "max-seconds", "max-crashes", "interrupted"), or
+    #: None when the bounded tree was exhausted.
+    stop_reason: Optional[str] = None
     first_violation_execution: Optional[int] = None
     states_covered: Optional[int] = None
 
@@ -137,6 +152,11 @@ class ExplorationResult:
     @property
     def found_divergence(self) -> bool:
         return bool(self.divergences)
+
+    @property
+    def interrupted(self) -> bool:
+        """True when a signal / KeyboardInterrupt stopped the search."""
+        return self.stop_reason == "interrupted"
 
     def livelocks(self) -> List[ExecutionResult]:
         return [r for r in self.divergences
@@ -159,6 +179,8 @@ class ExplorationResult:
         ]
         if self.states_covered is not None:
             lines.append(f"  states covered={self.states_covered}")
+        if self.stop_reason == "interrupted":
+            lines.append("  search interrupted; partial results above")
         if self.violations:
             first = self.violations[0].violation
             lines.append(f"  VIOLATION: {first}")
@@ -166,6 +188,12 @@ class ExplorationResult:
             lines.append(f"  DEADLOCK found ({len(self.deadlocks)} executions)")
         for record in self.divergences[:3]:
             lines.append(f"  DIVERGENCE: {record.divergence}")
+        for record in self.crashes[:3]:
+            lines.append(f"  CRASH quarantined: {record.crash}")
+        if self.aborted_executions:
+            lines.append(
+                f"  {self.aborted_executions} execution(s) aborted by the "
+                f"watchdog")
         return "\n".join(lines)
 
 

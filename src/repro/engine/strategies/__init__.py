@@ -3,25 +3,38 @@
 from repro.engine.strategies.base import (
     Aggregator,
     ExplorationLimits,
+    SearchStrategy,
     next_dfs_guide,
 )
-from repro.engine.strategies.bfs import explore_bfs
+from repro.engine.strategies.bfs import BfsStrategy, explore_bfs
 from repro.engine.strategies.context_bound import (
+    IcbStrategy,
     explore_context_bounded,
     iterative_context_bounding,
+    merge_sweeps,
 )
-from repro.engine.strategies.dfs import explore_dfs
-from repro.engine.strategies.por import explore_dfs_sleepsets
-from repro.engine.strategies.random_walk import explore_random
+from repro.engine.strategies.dfs import DfsStrategy, explore_dfs
+from repro.engine.strategies.por import SleepSetStrategy, explore_dfs_sleepsets
+from repro.engine.strategies.random_walk import (
+    RandomWalkStrategy,
+    explore_random,
+)
 
 __all__ = [
     "Aggregator",
+    "BfsStrategy",
+    "DfsStrategy",
     "ExplorationLimits",
+    "IcbStrategy",
+    "RandomWalkStrategy",
+    "SearchStrategy",
+    "SleepSetStrategy",
     "explore_bfs",
     "explore_context_bounded",
     "explore_dfs",
     "explore_dfs_sleepsets",
     "explore_random",
     "iterative_context_bounding",
+    "merge_sweeps",
     "next_dfs_guide",
 ]

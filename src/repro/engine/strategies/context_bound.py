@@ -9,7 +9,11 @@ Integration with fairness (Section 4): a switch forced by the priority
 relation — the running thread is enabled but no longer schedulable — is
 **not** counted against the bound, otherwise fair search would be unsound
 at small bounds.  The accounting itself lives in the executor; this module
-provides the strategy wrappers.
+provides the strategy wrappers and the iterative sweep.
+
+Checkpointing: an ICB snapshot holds the current bound, the serialized
+results of every finished sweep, and the in-flight inner DFS frontier, so
+``--resume`` picks the sweep back up mid-bound.
 """
 
 from __future__ import annotations
@@ -22,8 +26,162 @@ from repro.core.policies import PolicyFactory
 from repro.engine.coverage import CoverageTracker
 from repro.engine.executor import ExecutorConfig
 from repro.engine.results import ExecutionResult, ExplorationResult
-from repro.engine.strategies.base import ExplorationLimits
-from repro.engine.strategies.dfs import explore_dfs
+from repro.engine.strategies.base import ExplorationLimits, SearchStrategy
+from repro.engine.strategies.dfs import DfsStrategy
+from repro.resilience.checkpoint import (
+    exploration_from_state,
+    exploration_to_state,
+)
+
+
+def merge_sweeps(program_name: str, policy_name: str,
+                 sweeps) -> ExplorationResult:
+    """Fold the per-bound results of an ICB sweep into one summary."""
+    merged = ExplorationResult(
+        program_name=program_name,
+        policy_name=policy_name,
+        strategy_name=f"icb(<= {len(sweeps) - 1})",
+    )
+    for result in sweeps:
+        executions_before = merged.executions
+        merged.executions += result.executions
+        merged.transitions += result.transitions
+        merged.outcomes.update(result.outcomes)
+        merged.violations.extend(result.violations)
+        merged.deadlocks.extend(result.deadlocks)
+        merged.divergences.extend(result.divergences)
+        merged.crashes.extend(result.crashes)
+        merged.aborted_executions += result.aborted_executions
+        merged.nonterminating_executions += result.nonterminating_executions
+        merged.wall_seconds += result.wall_seconds
+        merged.limit_hit = merged.limit_hit or result.limit_hit
+        if (result.first_violation_execution is not None
+                and merged.first_violation_execution is None):
+            # Offset the sweep-local index by the executions of all
+            # earlier sweeps (not by the cumulative total after this
+            # sweep, which would overcount).
+            merged.first_violation_execution = (
+                executions_before + result.first_violation_execution)
+    merged.complete = all(result.complete for result in sweeps)
+    if sweeps:
+        merged.stop_reason = sweeps[-1].stop_reason
+    if sweeps and sweeps[-1].states_covered is not None:
+        merged.states_covered = sweeps[-1].states_covered
+    return merged
+
+
+class IcbStrategy(SearchStrategy):
+    """Iterative context bounding: DFS sweeps at bounds 0, 1, ..., max.
+
+    Unlike the single-frontier strategies, :meth:`explore` returns the
+    *list* of per-bound :class:`ExplorationResult`\\ s (the callers merge
+    them with :func:`merge_sweeps`).  Each sweep is an inner
+    :class:`DfsStrategy` whose ``root`` points back here, so checkpoints
+    taken mid-sweep capture the whole sweep history plus the in-flight
+    DFS frontier.
+    """
+
+    name = "icb"
+
+    def __init__(
+        self,
+        program: Program,
+        policy_factory: PolicyFactory,
+        max_bound: int,
+        config: Optional[ExecutorConfig] = None,
+        limits: Optional[ExplorationLimits] = None,
+        *,
+        coverage: Optional[CoverageTracker] = None,
+        stop_on_violation: bool = True,
+        listener: Optional[Callable[[ExecutionResult], None]] = None,
+        observer=None,
+        resilience=None,
+    ) -> None:
+        if max_bound < 0:
+            raise ValueError("preemption bound must be non-negative")
+        super().__init__(
+            program,
+            policy_factory,
+            config or ExecutorConfig(),
+            limits,
+            coverage=coverage,
+            listener=listener,
+            observer=observer,
+            resilience=resilience,
+        )
+        self.max_bound = max_bound
+        self.stop_on_violation = stop_on_violation
+        self.bound = 0
+        #: Serialized results of finished sweeps (JSON round-trippable).
+        self.completed: List[dict] = []
+        self._current_inner: Optional[DfsStrategy] = None
+        self._inner_state: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    def _make_inner(self, bound: int) -> DfsStrategy:
+        config = dataclasses.replace(self.config, preemption_bound=bound)
+        inner = DfsStrategy(
+            self.program,
+            self.policy_factory,
+            config,
+            self.limits,
+            coverage=self.coverage,
+            listener=self.listener,
+            strategy_name=f"cb={bound}",
+            observer=self.observer,
+            resilience=self.resilience,
+        )
+        inner.root = self
+        return inner
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = {
+            "strategy": self.name,
+            "frontier": {
+                "bound": self.bound,
+                "max_bound": self.max_bound,
+                "completed": self.completed,
+            },
+        }
+        if self._current_inner is not None:
+            state["inner"] = self._current_inner.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        recorded = state.get("strategy")
+        if recorded != self.name:
+            raise ValueError(
+                f"checkpoint was written by strategy {recorded!r}, "
+                f"cannot resume it with {self.name!r}"
+            )
+        frontier = state.get("frontier") or {}
+        self.bound = frontier.get("bound", 0)
+        self.max_bound = frontier.get("max_bound", self.max_bound)
+        self.completed = list(frontier.get("completed", []))
+        self._inner_state = state.get("inner")
+
+    # ------------------------------------------------------------------
+    def explore(self) -> List[ExplorationResult]:
+        results = [exploration_from_state(s) for s in self.completed]
+        while self.bound <= self.max_bound:
+            inner = self._make_inner(self.bound)
+            if self._inner_state is not None:
+                inner.load_state_dict(self._inner_state)
+                self._inner_state = None
+            self._current_inner = inner
+            result = inner.explore()
+            self._current_inner = None
+            results.append(result)
+            if result.interrupted:
+                break
+            self.completed.append(exploration_to_state(result))
+            if self.observer is not None:
+                self.observer.icb_sweep(self.bound, result)
+            self.bound += 1
+            if self.stop_on_violation and result.found_violation:
+                break
+        return results
 
 
 def explore_context_bounded(
@@ -36,13 +194,14 @@ def explore_context_bounded(
     coverage: Optional[CoverageTracker] = None,
     listener: Optional[Callable[[ExecutionResult], None]] = None,
     observer=None,
+    resilience=None,
 ) -> ExplorationResult:
     """DFS over all executions with at most ``bound`` preemptions."""
     if bound < 0:
         raise ValueError("preemption bound must be non-negative")
     config = dataclasses.replace(config or ExecutorConfig(),
                                  preemption_bound=bound)
-    return explore_dfs(
+    return DfsStrategy(
         program,
         policy_factory,
         config,
@@ -51,7 +210,8 @@ def explore_context_bounded(
         listener=listener,
         strategy_name=f"cb={bound}",
         observer=observer,
-    )
+        resilience=resilience,
+    ).explore()
 
 
 def iterative_context_bounding(
@@ -64,21 +224,21 @@ def iterative_context_bounding(
     coverage: Optional[CoverageTracker] = None,
     stop_on_violation: bool = True,
     observer=None,
+    resilience=None,
 ) -> List[ExplorationResult]:
     """Run searches with bounds 0, 1, ..., ``max_bound`` in order.
 
     Returns one :class:`ExplorationResult` per bound; stops early at the
     first bound that finds a violation when ``stop_on_violation`` is set.
     """
-    results: List[ExplorationResult] = []
-    for bound in range(max_bound + 1):
-        result = explore_context_bounded(
-            program, policy_factory, bound, config, limits, coverage=coverage,
-            observer=observer,
-        )
-        results.append(result)
-        if observer is not None:
-            observer.icb_sweep(bound, result)
-        if stop_on_violation and result.found_violation:
-            break
-    return results
+    return IcbStrategy(
+        program,
+        policy_factory,
+        max_bound,
+        config,
+        limits,
+        coverage=coverage,
+        stop_on_violation=stop_on_violation,
+        observer=observer,
+        resilience=resilience,
+    ).explore()

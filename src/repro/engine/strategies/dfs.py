@@ -7,12 +7,16 @@ produce the next guide.  Completeness: with the nonfair policy and no
 bounds this enumerates every execution of a finite acyclic choice tree;
 with the fair policy it enumerates every execution Algorithm 1 can
 generate.
+
+The frontier is a single guide plus the random-completion RNG, which makes
+DFS the cheapest strategy to checkpoint: a snapshot is a few dozen
+integers regardless of how deep the search is.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from repro.core.model import Program
 from repro.core.policies import PolicyFactory
@@ -25,10 +29,85 @@ from repro.engine.executor import (
 )
 from repro.engine.results import ExecutionResult, ExplorationResult
 from repro.engine.strategies.base import (
-    Aggregator,
     ExplorationLimits,
+    SearchStrategy,
     next_dfs_guide,
 )
+from repro.resilience.checkpoint import freeze_rng, thaw_rng
+
+
+class DfsStrategy(SearchStrategy):
+    """Depth-first search with a resumable (guide, RNG) frontier."""
+
+    name = "dfs"
+
+    def __init__(
+        self,
+        program: Program,
+        policy_factory: PolicyFactory,
+        config: Optional[ExecutorConfig] = None,
+        limits: Optional[ExplorationLimits] = None,
+        *,
+        coverage: Optional[CoverageTracker] = None,
+        pruner: Optional[Pruner] = None,
+        listener: Optional[Callable[[ExecutionResult], None]] = None,
+        strategy_name: str = "dfs",
+        observer=None,
+        resilience=None,
+    ) -> None:
+        super().__init__(
+            program,
+            policy_factory,
+            config or ExecutorConfig(),
+            limits,
+            coverage=coverage,
+            listener=listener,
+            observer=observer,
+            resilience=resilience,
+        )
+        self.pruner = pruner
+        self._label = strategy_name
+        self.guide: Optional[List[int]] = []
+        self.completion_rng = random.Random(self.config.seed)
+
+    def strategy_label(self) -> str:
+        return self._label
+
+    # ------------------------------------------------------------------
+    def _has_work(self) -> bool:
+        return self.guide is not None
+
+    def _run_once(self) -> ExecutionResult:
+        return run_execution(
+            self.program,
+            self.policy_factory(),
+            GuidedChooser(self.guide),
+            self.config,
+            coverage=self.coverage,
+            pruner=self.pruner,
+            completion_rng=self.completion_rng,
+            observer=self.observer,
+        )
+
+    def _advance(self, record: ExecutionResult) -> None:
+        self.guide = next_dfs_guide(record.decisions)
+
+    def _announce(self) -> None:
+        if self.observer is not None and self.guide is not None:
+            self.observer.backtrack(len(self.guide))
+
+    # ------------------------------------------------------------------
+    def _frontier_state(self) -> dict:
+        return {
+            "guide": self.guide,
+            "completion_rng": freeze_rng(self.completion_rng),
+        }
+
+    def _load_frontier(self, state: dict) -> None:
+        self.guide = state.get("guide", [])
+        rng_state = state.get("completion_rng")
+        if rng_state is not None:
+            thaw_rng(self.completion_rng, rng_state)
 
 
 def explore_dfs(
@@ -42,45 +121,18 @@ def explore_dfs(
     listener: Optional[Callable[[ExecutionResult], None]] = None,
     strategy_name: str = "dfs",
     observer=None,
+    resilience=None,
 ) -> ExplorationResult:
     """Exhaustively search the program's (bounded) execution tree."""
-    config = config or ExecutorConfig()
-    limits = limits or ExplorationLimits()
-    completion_rng = random.Random(config.seed)
-    policy_probe = policy_factory()
-    aggregator = Aggregator(
-        program_name=program.name,
-        policy_name=policy_probe.name,
-        strategy_name=strategy_name,
-        limits=limits,
+    return DfsStrategy(
+        program,
+        policy_factory,
+        config,
+        limits,
         coverage=coverage,
+        pruner=pruner,
         listener=listener,
+        strategy_name=strategy_name,
         observer=observer,
-    )
-
-    guide: Optional[list] = []
-    stop_reason: Optional[str] = None
-    while guide is not None:
-        record = run_execution(
-            program,
-            policy_factory(),
-            GuidedChooser(guide),
-            config,
-            coverage=coverage,
-            pruner=pruner,
-            completion_rng=completion_rng,
-            observer=observer,
-        )
-        stop_reason = aggregator.add(record)
-        if stop_reason is not None:
-            break
-        guide = next_dfs_guide(record.decisions)
-        if observer is not None and guide is not None:
-            observer.backtrack(len(guide))
-
-    complete = guide is None and stop_reason is None
-    # A violation/divergence stop still means the search answered the
-    # question it was asked; completeness refers to tree exhaustion only.
-    if stop_reason is None and guide is not None:  # pragma: no cover
-        complete = False
-    return aggregator.finish(complete=complete, stop_reason=stop_reason)
+        resilience=resilience,
+    ).explore()

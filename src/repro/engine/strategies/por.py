@@ -36,8 +36,8 @@ from repro.core.policies import PolicyFactory
 from repro.engine.coverage import CoverageTracker
 from repro.engine.results import Decision, ExecutionResult, ExplorationResult, Outcome, TraceStep
 from repro.engine.strategies.base import (
-    Aggregator,
     ExplorationLimits,
+    SearchStrategy,
     next_dfs_guide,
 )
 from repro.runtime.errors import PropertyViolation
@@ -182,6 +182,74 @@ def _run_once_with_sleep(
     return result
 
 
+class SleepSetStrategy(SearchStrategy):
+    """Depth-first search with sleep-set partial-order reduction.
+
+    The frontier is the same (guide) shape as plain DFS; the sleep sets
+    themselves are recomputed deterministically from the guide on every
+    execution, so they need no checkpoint state of their own.
+    """
+
+    name = "por"
+
+    def __init__(
+        self,
+        program: Program,
+        policy_factory: PolicyFactory,
+        *,
+        depth_bound: Optional[int] = None,
+        limits: Optional[ExplorationLimits] = None,
+        coverage: Optional[CoverageTracker] = None,
+        listener: Optional[Callable[[ExecutionResult], None]] = None,
+        observer=None,
+        resilience=None,
+    ) -> None:
+        super().__init__(
+            program,
+            policy_factory,
+            None,
+            limits,
+            coverage=coverage,
+            listener=listener,
+            observer=observer,
+            resilience=resilience,
+        )
+        self.depth_bound = depth_bound
+        self.guide: Optional[List[int]] = []
+
+    def strategy_label(self) -> str:
+        return "dfs+sleepsets"
+
+    # ------------------------------------------------------------------
+    def _has_work(self) -> bool:
+        return self.guide is not None
+
+    def _run_once(self) -> ExecutionResult:
+        return _run_once_with_sleep(
+            self.program,
+            self.policy_factory(),
+            self.guide,
+            depth_bound=self.depth_bound,
+            coverage=self.coverage,
+            observer=self.observer,
+        )
+
+    def _advance(self, record: ExecutionResult) -> None:
+        self.guide = next_dfs_guide(record.decisions)
+
+    def _announce(self) -> None:
+        if self.observer is not None and self.guide is not None:
+            self.observer.backtrack(len(self.guide))
+
+    # ------------------------------------------------------------------
+    def _frontier_state(self) -> dict:
+        return {"guide": self.guide, "depth_bound": self.depth_bound}
+
+    def _load_frontier(self, state: dict) -> None:
+        self.guide = state.get("guide", [])
+        self.depth_bound = state.get("depth_bound", self.depth_bound)
+
+
 def explore_dfs_sleepsets(
     program: Program,
     policy_factory: PolicyFactory,
@@ -191,32 +259,16 @@ def explore_dfs_sleepsets(
     coverage: Optional[CoverageTracker] = None,
     listener: Optional[Callable[[ExecutionResult], None]] = None,
     observer=None,
+    resilience=None,
 ) -> ExplorationResult:
     """Depth-first search with sleep-set partial-order reduction."""
-    limits = limits or ExplorationLimits()
-    aggregator = Aggregator(
-        program_name=program.name,
-        policy_name=policy_factory().name,
-        strategy_name="dfs+sleepsets",
+    return SleepSetStrategy(
+        program,
+        policy_factory,
+        depth_bound=depth_bound,
         limits=limits,
         coverage=coverage,
         listener=listener,
         observer=observer,
-    )
-
-    guide: Optional[List[int]] = []
-    stop_reason: Optional[str] = None
-    while guide is not None:
-        record = _run_once_with_sleep(
-            program, policy_factory(), guide,
-            depth_bound=depth_bound, coverage=coverage, observer=observer,
-        )
-        stop_reason = aggregator.add(record)
-        if stop_reason is not None:
-            break
-        guide = next_dfs_guide(record.decisions)
-        if observer is not None and guide is not None:
-            observer.backtrack(len(guide))
-
-    complete = guide is None and stop_reason is None
-    return aggregator.finish(complete=complete, stop_reason=stop_reason)
+        resilience=resilience,
+    ).explore()

@@ -6,6 +6,10 @@ baseline of Table 2 (that part lives inside the executor), and as a
 standalone baseline.  Random scheduling is fair with probability one, so a
 fair-terminating program terminates almost surely under it — but it gives
 no systematic coverage guarantee, which is the point of comparison.
+
+The frontier is the remaining execution budget plus the RNG state, so a
+resumed random search continues the *same* pseudo-random sequence rather
+than replaying executions it already tried.
 """
 
 from __future__ import annotations
@@ -18,7 +22,81 @@ from repro.core.policies import PolicyFactory
 from repro.engine.coverage import CoverageTracker
 from repro.engine.executor import ExecutorConfig, RandomChooser, run_execution
 from repro.engine.results import ExecutionResult, ExplorationResult
-from repro.engine.strategies.base import Aggregator, ExplorationLimits
+from repro.engine.strategies.base import ExplorationLimits, SearchStrategy
+from repro.resilience.checkpoint import freeze_rng, thaw_rng
+
+
+class RandomWalkStrategy(SearchStrategy):
+    """A fixed budget of independent random executions."""
+
+    name = "random"
+    #: Random search never exhausts the tree; draining the budget does
+    #: not make the result "complete".
+    exhaustive = False
+
+    def __init__(
+        self,
+        program: Program,
+        policy_factory: PolicyFactory,
+        config: Optional[ExecutorConfig] = None,
+        limits: Optional[ExplorationLimits] = None,
+        *,
+        executions: int = 100,
+        seed: int = 0,
+        coverage: Optional[CoverageTracker] = None,
+        listener: Optional[Callable[[ExecutionResult], None]] = None,
+        observer=None,
+        resilience=None,
+    ) -> None:
+        super().__init__(
+            program,
+            policy_factory,
+            config or ExecutorConfig(),
+            limits,
+            coverage=coverage,
+            listener=listener,
+            observer=observer,
+            resilience=resilience,
+        )
+        self.total = executions
+        self.remaining = executions
+        self.rng = random.Random(seed)
+
+    def strategy_label(self) -> str:
+        return f"random(n={self.total})"
+
+    # ------------------------------------------------------------------
+    def _has_work(self) -> bool:
+        return self.remaining > 0
+
+    def _run_once(self) -> ExecutionResult:
+        return run_execution(
+            self.program,
+            self.policy_factory(),
+            RandomChooser(self.rng),
+            self.config,
+            coverage=self.coverage,
+            completion_rng=self.rng,
+            observer=self.observer,
+        )
+
+    def _advance(self, record: ExecutionResult) -> None:
+        self.remaining -= 1
+
+    # ------------------------------------------------------------------
+    def _frontier_state(self) -> dict:
+        return {
+            "remaining": self.remaining,
+            "total": self.total,
+            "rng": freeze_rng(self.rng),
+        }
+
+    def _load_frontier(self, state: dict) -> None:
+        self.remaining = state.get("remaining", 0)
+        self.total = state.get("total", self.total)
+        rng_state = state.get("rng")
+        if rng_state is not None:
+            thaw_rng(self.rng, rng_state)
 
 
 def explore_random(
@@ -32,34 +110,18 @@ def explore_random(
     coverage: Optional[CoverageTracker] = None,
     listener: Optional[Callable[[ExecutionResult], None]] = None,
     observer=None,
+    resilience=None,
 ) -> ExplorationResult:
     """Run ``executions`` independent random executions."""
-    config = config or ExecutorConfig()
-    limits = limits or ExplorationLimits()
-    rng = random.Random(seed)
-    policy_probe = policy_factory()
-    aggregator = Aggregator(
-        program_name=program.name,
-        policy_name=policy_probe.name,
-        strategy_name=f"random(n={executions})",
-        limits=limits,
+    return RandomWalkStrategy(
+        program,
+        policy_factory,
+        config,
+        limits,
+        executions=executions,
+        seed=seed,
         coverage=coverage,
         listener=listener,
         observer=observer,
-    )
-
-    stop_reason: Optional[str] = None
-    for _ in range(executions):
-        record = run_execution(
-            program,
-            policy_factory(),
-            RandomChooser(rng),
-            config,
-            coverage=coverage,
-            completion_rng=rng,
-            observer=observer,
-        )
-        stop_reason = aggregator.add(record)
-        if stop_reason is not None:
-            break
-    return aggregator.finish(complete=False, stop_reason=stop_reason)
+        resilience=resilience,
+    ).explore()

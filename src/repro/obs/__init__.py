@@ -17,10 +17,13 @@ See ``docs/observability.md`` for the event schema and metric names.
 from repro.obs.events import (
     Backtrack,
     CallbackSink,
+    CheckpointWritten,
     CollectingSink,
+    CrashQuarantined,
     DivergenceClassified,
     Event,
     EventSink,
+    ExecutionAborted,
     ExecutionFinished,
     ExecutionStarted,
     ExplorationFinished,
@@ -29,6 +32,8 @@ from repro.obs.events import (
     MultiSink,
     Preemption,
     SchedulingDecision,
+    SearchInterrupted,
+    ThreadLeaked,
     ViolationFound,
     event_from_dict,
 )
@@ -41,11 +46,14 @@ from repro.obs.trace import JsonlTraceWriter, read_jsonl, schedule_from_events
 __all__ = [
     "Backtrack",
     "CallbackSink",
+    "CheckpointWritten",
     "CollectingSink",
     "Counter",
+    "CrashQuarantined",
     "DivergenceClassified",
     "Event",
     "EventSink",
+    "ExecutionAborted",
     "ExecutionFinished",
     "ExecutionStarted",
     "ExplorationFinished",
@@ -53,6 +61,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "IcbSweep",
+    "SearchInterrupted",
+    "ThreadLeaked",
     "JsonlTraceWriter",
     "MetricsRegistry",
     "MultiSink",

@@ -158,6 +158,57 @@ class IcbSweep(Event):
     wall_seconds: float
 
 
+@dataclass(frozen=True)
+class CheckpointWritten(Event):
+    """A search checkpoint was flushed to disk."""
+
+    type: ClassVar[str] = "checkpoint.written"
+
+    path: str
+    executions: int  # executions folded into the snapshot
+
+
+@dataclass(frozen=True)
+class ExecutionAborted(Event):
+    """The execution watchdog cut one execution short."""
+
+    type: ClassVar[str] = "execution.aborted"
+
+    execution: int
+    step: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class CrashQuarantined(Event):
+    """A crashing execution was captured as a finding and set aside."""
+
+    type: ClassVar[str] = "crash.quarantined"
+
+    execution: int
+    message: str
+    path: Optional[str]  # repro file in the quarantine dir, if any
+
+
+@dataclass(frozen=True)
+class ThreadLeaked(Event):
+    """Native threads survived execution teardown (hung in user code)."""
+
+    type: ClassVar[str] = "thread.leaked"
+
+    execution: int
+    threads: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SearchInterrupted(Event):
+    """The search stopped gracefully on an operator signal."""
+
+    type: ClassVar[str] = "search.interrupted"
+
+    signal: str
+
+
 #: Registry of wire names, for trace readers.
 EVENT_TYPES: Dict[str, type] = {
     cls.type: cls
@@ -172,6 +223,11 @@ EVENT_TYPES: Dict[str, type] = {
         DivergenceClassified,
         ViolationFound,
         IcbSweep,
+        CheckpointWritten,
+        ExecutionAborted,
+        CrashQuarantined,
+        ThreadLeaked,
+        SearchInterrupted,
     )
 }
 
@@ -234,4 +290,6 @@ def event_from_dict(data: Dict[str, object]) -> Event:
     kwargs = {k: v for k, v in data.items() if k in fields}
     if "culprits" in kwargs and isinstance(kwargs["culprits"], list):
         kwargs["culprits"] = tuple(kwargs["culprits"])
+    if "threads" in kwargs and isinstance(kwargs["threads"], list):
+        kwargs["threads"] = tuple(kwargs["threads"])
     return cls(**kwargs)  # type: ignore[arg-type]

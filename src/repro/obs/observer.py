@@ -13,7 +13,8 @@ Metric names (see ``docs/observability.md`` for the full schema):
   ``preemptions``, ``backtracks``, ``violations``, ``deadlocks``,
   ``divergences``, ``divergence.<kind>``, ``decisions.thread``,
   ``decisions.data``, ``states.new``, ``states.revisited``,
-  ``icb.sweeps``;
+  ``icb.sweeps``, ``crashes``, ``crashes.quarantined``,
+  ``executions.aborted``, ``checkpoints``, ``threads.leaked``;
 * gauges — ``wall.seconds``, ``rate.executions_per_second``,
   ``rate.transitions_per_second``;
 * histograms — ``schedulable_set_size``, ``enabled_set_size``,
@@ -27,8 +28,11 @@ from typing import Optional
 
 from repro.obs.events import (
     Backtrack,
+    CheckpointWritten,
+    CrashQuarantined,
     DivergenceClassified,
     EventSink,
+    ExecutionAborted,
     ExecutionFinished,
     ExecutionStarted,
     ExplorationFinished,
@@ -36,6 +40,8 @@ from repro.obs.events import (
     IcbSweep,
     Preemption,
     SchedulingDecision,
+    SearchInterrupted,
+    ThreadLeaked,
     ViolationFound,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -99,7 +105,8 @@ class Observer:
                 transitions=result.transitions,
                 wall_seconds=result.wall_seconds,
                 complete=result.complete,
-                stop_reason=None if not result.limit_hit else "limit",
+                stop_reason=(getattr(result, "stop_reason", None)
+                             or ("limit" if result.limit_hit else None)),
             ))
         if self.progress is not None:
             self.progress.report(
@@ -129,6 +136,8 @@ class Observer:
             m.counter("violations").inc()
         elif outcome == "deadlock":
             m.counter("deadlocks").inc()
+        elif outcome == "crashed":
+            m.counter("crashes").inc()
         if self.sink is not None:
             self.sink.emit(ExecutionFinished(
                 execution=self._execution,
@@ -214,6 +223,38 @@ class Observer:
                 found_violation=result.found_violation,
                 wall_seconds=result.wall_seconds,
             ))
+
+    # ------------------------------------------------------------------
+    # resilience hooks
+    # ------------------------------------------------------------------
+    def checkpoint_saved(self, path: str, executions: int) -> None:
+        self.metrics.counter("checkpoints").inc()
+        if self.sink is not None:
+            self.sink.emit(CheckpointWritten(path=path,
+                                             executions=executions))
+
+    def execution_aborted(self, step: int, reason: str) -> None:
+        self.metrics.counter("executions.aborted").inc()
+        if self.sink is not None:
+            self.sink.emit(ExecutionAborted(execution=self._execution,
+                                            step=step, reason=reason))
+
+    def crash_quarantined(self, message: str,
+                          path: Optional[str] = None) -> None:
+        self.metrics.counter("crashes.quarantined").inc()
+        if self.sink is not None:
+            self.sink.emit(CrashQuarantined(execution=self._execution,
+                                            message=message, path=path))
+
+    def thread_leaked(self, threads) -> None:
+        self.metrics.counter("threads.leaked").inc(len(threads))
+        if self.sink is not None:
+            self.sink.emit(ThreadLeaked(execution=self._execution,
+                                        threads=tuple(threads)))
+
+    def search_interrupted(self, signal: str) -> None:
+        if self.sink is not None:
+            self.sink.emit(SearchInterrupted(signal=signal))
 
     # ------------------------------------------------------------------
     # coverage hooks

@@ -1,0 +1,254 @@
+"""Checkpoint persistence: resumable searches.
+
+The CHESS evaluation runs millions of executions against real systems
+code; a crash or interrupt hours into such a search must not forfeit the
+results.  A *checkpoint* is a versioned JSON snapshot of everything a
+strategy needs to continue where it stopped:
+
+* the strategy *frontier* (the next guide for DFS, the queue for BFS,
+  the remaining budget and RNG state for random search, the current
+  bound plus inner state for ICB);
+* the aggregated partial results (counts plus the schedules of every
+  violating / diverging / crashing execution found so far);
+* the RNG state of any random component, so a resumed search makes the
+  identical choices an uninterrupted one would have made.
+
+Writes are atomic — the snapshot is serialized to ``<path>.tmp`` and
+``os.replace``d over the target — so an interrupt mid-write can never
+leave a truncated checkpoint behind.
+
+The serialization here is intentionally *lossy about traces*: recorded
+schedules replay deterministically, so a resumed checker can always
+reconstruct a full trace with :func:`repro.engine.replay.replay_schedule`
+instead of persisting megabytes of trace text.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.engine.results import (
+    Decision,
+    DivergenceKind,
+    DivergenceReport,
+    ExecutionResult,
+    ExplorationResult,
+    Outcome,
+)
+from repro.runtime.errors import (
+    AssertionViolation,
+    DeadlockViolation,
+    PropertyViolation,
+    SyncUsageError,
+    TaskCrash,
+)
+
+FORMAT_VERSION = 1
+
+#: ``PropertyViolation.kind`` -> class, for faithful reconstruction.
+_VIOLATION_CLASSES = {
+    cls.kind: cls
+    for cls in (PropertyViolation, AssertionViolation, SyncUsageError,
+                DeadlockViolation, TaskCrash)
+}
+
+
+# ----------------------------------------------------------------------
+# RNG state
+# ----------------------------------------------------------------------
+
+def freeze_rng(rng: random.Random) -> list:
+    """``random.Random`` state as a JSON-serializable value."""
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def thaw_rng(rng: random.Random, state) -> None:
+    """Restore a state produced by :func:`freeze_rng`."""
+    version, internal, gauss_next = state
+    rng.setstate((version, tuple(internal), gauss_next))
+
+
+# ----------------------------------------------------------------------
+# Execution records
+# ----------------------------------------------------------------------
+
+def record_to_state(record: ExecutionResult) -> dict:
+    """A JSON-serializable snapshot of one kept execution record.
+
+    Keeps the replayable schedule and the classification; drops the
+    trace (replay regenerates it deterministically).
+    """
+    state: Dict[str, object] = {
+        "outcome": record.outcome.value,
+        "steps": record.steps,
+        "preemptions": record.preemptions,
+        "hit_depth_bound": record.hit_depth_bound,
+        "completed_randomly": record.completed_randomly,
+        "decisions": [[d.kind, d.index, d.options] for d in record.decisions],
+    }
+    if record.violation is not None:
+        state["violation"] = {
+            "kind": getattr(record.violation, "kind", "safety"),
+            "message": str(record.violation),
+        }
+    if record.divergence is not None:
+        state["divergence"] = {
+            "kind": record.divergence.kind.value,
+            "culprits": list(record.divergence.culprits),
+            "window": record.divergence.window,
+            "detail": record.divergence.detail,
+        }
+    if record.crash is not None:
+        state["crash"] = str(record.crash)
+    if record.abort_reason is not None:
+        state["abort_reason"] = record.abort_reason
+    return state
+
+
+def record_from_state(state: dict) -> ExecutionResult:
+    """Inverse of :func:`record_to_state` (trace-less)."""
+    violation = None
+    if "violation" in state:
+        stored = state["violation"]
+        cls = _VIOLATION_CLASSES.get(stored.get("kind"), PropertyViolation)
+        violation = cls(stored["message"])
+    divergence = None
+    if "divergence" in state:
+        stored = state["divergence"]
+        divergence = DivergenceReport(
+            kind=DivergenceKind(stored["kind"]),
+            culprits=tuple(stored.get("culprits", ())),
+            window=stored.get("window", 0),
+            detail=stored.get("detail", ""),
+        )
+    crash = None
+    if "crash" in state:
+        crash = TaskCrash(state["crash"])
+    return ExecutionResult(
+        outcome=Outcome(state["outcome"]),
+        decisions=[Decision(kind, index, options, None)
+                   for kind, index, options in state.get("decisions", [])],
+        steps=state.get("steps", 0),
+        preemptions=state.get("preemptions", 0),
+        violation=violation,
+        divergence=divergence,
+        crash=crash,
+        abort_reason=state.get("abort_reason"),
+        hit_depth_bound=state.get("hit_depth_bound", False),
+        completed_randomly=state.get("completed_randomly", False),
+    )
+
+
+# ----------------------------------------------------------------------
+# Aggregated exploration results
+# ----------------------------------------------------------------------
+
+def exploration_to_state(result: ExplorationResult) -> dict:
+    """Serialize partial (or final) aggregated results for a checkpoint."""
+    return {
+        "program": result.program_name,
+        "policy": result.policy_name,
+        "strategy": result.strategy_name,
+        "executions": result.executions,
+        "transitions": result.transitions,
+        "outcomes": {outcome.value: count
+                     for outcome, count in result.outcomes.items()},
+        "violations": [record_to_state(r) for r in result.violations],
+        "deadlocks": [record_to_state(r) for r in result.deadlocks],
+        "divergences": [record_to_state(r) for r in result.divergences],
+        "crashes": [record_to_state(r) for r in result.crashes],
+        "nonterminating_executions": result.nonterminating_executions,
+        "aborted_executions": result.aborted_executions,
+        "wall_seconds": result.wall_seconds,
+        "complete": result.complete,
+        "limit_hit": result.limit_hit,
+        "stop_reason": result.stop_reason,
+        "first_violation_execution": result.first_violation_execution,
+        "states_covered": result.states_covered,
+    }
+
+
+def exploration_from_state(state: dict) -> ExplorationResult:
+    """Inverse of :func:`exploration_to_state`."""
+    result = ExplorationResult(
+        program_name=state.get("program", ""),
+        policy_name=state.get("policy", ""),
+        strategy_name=state.get("strategy", ""),
+        executions=state.get("executions", 0),
+        transitions=state.get("transitions", 0),
+        violations=[record_from_state(r)
+                    for r in state.get("violations", [])],
+        deadlocks=[record_from_state(r) for r in state.get("deadlocks", [])],
+        divergences=[record_from_state(r)
+                     for r in state.get("divergences", [])],
+        crashes=[record_from_state(r) for r in state.get("crashes", [])],
+        nonterminating_executions=state.get("nonterminating_executions", 0),
+        aborted_executions=state.get("aborted_executions", 0),
+        wall_seconds=state.get("wall_seconds", 0.0),
+        complete=state.get("complete", False),
+        limit_hit=state.get("limit_hit", False),
+        stop_reason=state.get("stop_reason"),
+        first_violation_execution=state.get("first_violation_execution"),
+        states_covered=state.get("states_covered"),
+    )
+    for outcome_value, count in state.get("outcomes", {}).items():
+        result.outcomes[Outcome(outcome_value)] = count
+    return result
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+
+class CheckpointStore:
+    """Versioned checkpoint file with atomic (tmp + rename) writes."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def save(self, payload: dict) -> Path:
+        """Write ``payload`` atomically; returns the checkpoint path."""
+        document = dict(payload)
+        document["format"] = FORMAT_VERSION
+        document["saved_at"] = time.time()
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(
+            json.dumps(document, indent=2, sort_keys=True, default=str) + "\n")
+        os.replace(tmp, self.path)
+        return self.path
+
+    def load(self) -> dict:
+        """Read and validate the checkpoint; raises ``ValueError`` when
+        the file is truncated, corrupt, or from a different format."""
+        try:
+            payload = json.loads(self.path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"checkpoint {self.path} is truncated or corrupt: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ValueError(f"checkpoint {self.path} is not a JSON object")
+        if payload.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint format {payload.get('format')!r} "
+                f"(this build reads format {FORMAT_VERSION})"
+            )
+        if not isinstance(payload.get("state"), dict):
+            raise ValueError(f"checkpoint {self.path} has no strategy state")
+        return payload
+
+
+def load_checkpoint(path: Union[str, Path]) -> dict:
+    """Convenience wrapper: read + validate one checkpoint file."""
+    return CheckpointStore(path).load()

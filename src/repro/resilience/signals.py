@@ -1,0 +1,72 @@
+"""Graceful shutdown on SIGINT / SIGTERM.
+
+The first signal requests a *graceful* stop: the strategy loop notices at
+its next iteration boundary, flushes a final checkpoint, and returns the
+partial results with ``stop_reason="interrupted"``.  A second SIGINT
+escalates to the ordinary ``KeyboardInterrupt`` so an operator can always
+force their way out (the strategy loop still catches it and salvages the
+aggregated results, just without running the current execution to its
+scheduling point).
+
+Handlers can only be installed from the main thread of the main
+interpreter; anywhere else :class:`GracefulStop` degrades to a plain
+manually-settable flag (``request()``), which is also what the tests use.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Dict, Optional
+
+
+class GracefulStop:
+    """Context manager that converts termination signals into a flag."""
+
+    def __init__(self, *, install: bool = True,
+                 signals=(signal.SIGINT, signal.SIGTERM)) -> None:
+        self._install = install
+        self._signals = tuple(signals)
+        self._previous: Dict[int, object] = {}
+        self._event = threading.Event()
+        self.signal_name: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def requested(self) -> bool:
+        return self._event.is_set()
+
+    def request(self, reason: str = "request") -> None:
+        """Programmatic stop request (tests, embedding applications)."""
+        self.signal_name = self.signal_name or reason
+        self._event.set()
+
+    # ------------------------------------------------------------------
+    def _handle(self, signum, frame) -> None:
+        if self._event.is_set() and signum == signal.SIGINT:
+            # Second Ctrl-C: the user means it.
+            raise KeyboardInterrupt
+        try:
+            self.signal_name = signal.Signals(signum).name
+        except ValueError:  # pragma: no cover - exotic platform signal
+            self.signal_name = str(signum)
+        self._event.set()
+
+    def __enter__(self) -> "GracefulStop":
+        if (self._install
+                and threading.current_thread() is threading.main_thread()):
+            for signum in self._signals:
+                try:
+                    self._previous[signum] = signal.signal(signum,
+                                                           self._handle)
+                except (ValueError, OSError):  # pragma: no cover
+                    continue  # not installable here; stay cooperative
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        self._previous.clear()

@@ -1,0 +1,58 @@
+"""Execution watchdog: per-execution wall-clock budgets.
+
+A single hung execution must not stall a search that was meant to run
+millions of them.  The watchdog gives each execution a wall-clock budget:
+
+* the executor checks :meth:`ExecutionWatchdog.expired` between
+  transitions (cooperative — sufficient for the generator VM, where every
+  transition returns to the engine);
+* the native runtime additionally bounds each *handshake* with
+  :meth:`ExecutionWatchdog.remaining`: a controlled OS thread that never
+  reaches its next scheduling point trips an
+  :class:`~repro.runtime.errors.ExecutionHung`, which the executor
+  converts into an :attr:`~repro.engine.results.Outcome.ABORTED` record
+  instead of blocking forever.
+
+Aborted executions are counted (``executions.aborted`` metric, one
+``execution.aborted`` event each) and the search continues; the forced
+teardown in :meth:`repro.runtime.native.NativeInstance.close` reports any
+thread that survives as leaked rather than silently ignoring it.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Optional
+
+
+class ExecutionWatchdog:
+    """Wall-clock budget for one execution."""
+
+    __slots__ = ("budget_seconds", "_deadline")
+
+    def __init__(self, budget_seconds: float) -> None:
+        if budget_seconds <= 0:
+            raise ValueError("watchdog budget must be positive")
+        self.budget_seconds = budget_seconds
+        self._deadline: Optional[float] = None
+
+    def start(self) -> "ExecutionWatchdog":
+        """Arm (or re-arm) the budget for a fresh execution."""
+        self._deadline = perf_counter() + self.budget_seconds
+        return self
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (0.0 once expired)."""
+        if self._deadline is None:
+            self.start()
+        return max(0.0, self._deadline - perf_counter())
+
+    def expired(self) -> bool:
+        if self._deadline is None:
+            self.start()
+            return False
+        return perf_counter() >= self._deadline
+
+    def describe(self) -> str:
+        return (f"execution exceeded its {self.budget_seconds:g}s "
+                f"wall-clock budget")

@@ -56,6 +56,23 @@ class DeadlockViolation(PropertyViolation):
     kind = "deadlock"
 
 
+class ExecutionHung(ReproError):
+    """A controlled thread failed to reach its next scheduling point
+    within the execution watchdog's budget.
+
+    Raised by the native runtime when a cooperative handshake times out;
+    the executor converts it into an aborted execution
+    (:attr:`repro.engine.results.Outcome.ABORTED`) instead of a verdict —
+    a hung execution means the *test* could not be completed, not that a
+    property failed.
+    """
+
+    def __init__(self, message: str, *, tid: Optional[object] = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.tid = tid
+
+
 class TaskCrash(PropertyViolation):
     """The program under test raised an unexpected exception."""
 

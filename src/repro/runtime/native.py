@@ -47,7 +47,12 @@ import threading
 from typing import Any, Callable, FrozenSet, Hashable, List, Optional, Tuple
 
 from repro.core.model import ProgramInstance, Program, StepInfo
-from repro.runtime.errors import PropertyViolation, ScheduleError, TaskCrash
+from repro.runtime.errors import (
+    ExecutionHung,
+    PropertyViolation,
+    ScheduleError,
+    TaskCrash,
+)
 from repro.runtime.ops import ChooseOp, Operation, StartOp, YieldOp
 from repro.runtime.task import TaskState
 from repro.sync.atomics import _LoadOp, _StoreOp, AtomicCell
@@ -87,6 +92,7 @@ class _NativeTask:
         self._ready = threading.Semaphore(0)
         self._op_result: Any = None
         self._aborted = False
+        self.hung = False
         self._thread = threading.Thread(
             target=self._run, args=(fn, args), name=name, daemon=True,
         )
@@ -134,19 +140,40 @@ class _NativeTask:
         self._thread.start()
         self._ready.acquire()  # wait until the StartOp is published
 
-    def resume_with(self, value: Any) -> None:
+    def resume_with(self, value: Any,
+                    timeout: Optional[float] = None) -> None:
         """Hand the operation result to the thread; wait for it to reach
-        its next scheduling point (or finish)."""
+        its next scheduling point (or finish).
+
+        With a ``timeout``, a thread that fails to come back in time is
+        marked hung and :class:`ExecutionHung` is raised — cooperative
+        cancellation for the execution watchdog.  The thread itself keeps
+        running (Python cannot kill it); teardown in :meth:`abort` then
+        detects whether it ever unwound.
+        """
         self.pending = None
         self._op_result = value
         self._go.release()
-        self._ready.acquire()
+        if timeout is None:
+            self._ready.acquire()
+            return
+        if not self._ready.acquire(timeout=timeout):
+            self.hung = True
+            raise ExecutionHung(
+                f"thread {self.name!r} did not reach its next scheduling "
+                f"point within {timeout:g}s",
+                tid=self.tid,
+            )
 
-    def abort(self) -> None:
-        if self.state is TaskState.READY and self.pending is not None:
+    def abort(self, join_timeout: float = 5.0) -> bool:
+        """Unwind the thread at teardown; True if it is still alive after
+        (a leaked thread the caller should report)."""
+        if self.state is TaskState.READY and (self.pending is not None
+                                              or self.hung):
             self._aborted = True
             self._go.release()
-            self._thread.join(timeout=5.0)
+        self._thread.join(timeout=join_timeout)
+        return self._thread.is_alive()
 
 
 def current_task() -> _NativeTask:
@@ -175,6 +202,17 @@ class NativeInstance(ProgramInstance):
         self.monitors: List[Callable[[], None]] = []
         self.temporal_monitors: List[Any] = []
         self._closed = False
+        #: Per-step wall-clock timeout set by the executor's watchdog;
+        #: None (the default) blocks indefinitely, as before.
+        self.step_timeout: Optional[float] = None
+        #: Optional telemetry observer (set by the executor); used to
+        #: report leaked threads at teardown.
+        self.observer: Any = None
+        #: Upper bound on the per-thread join at teardown.
+        self.join_timeout: float = 5.0
+        #: Names of threads that survived :meth:`close` (hung in user
+        #: code that never unwound).
+        self.leaked_threads: Tuple[str, ...] = ()
         setup(NativeEnv(self))
 
     # ------------------------------------------------------------------
@@ -233,7 +271,7 @@ class NativeInstance(ProgramInstance):
         op_desc = op.describe()
         self._spawned_this_step = []
         value = op.execute(self, task)
-        task.resume_with(value)
+        task.resume_with(value, timeout=self.step_timeout)
         if task.failed and task.exception is not None:
             exc = task.exception
             if isinstance(exc, PropertyViolation):
@@ -275,12 +313,25 @@ class NativeInstance(ProgramInstance):
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Abort all still-blocked threads (end of one exploration run)."""
+        """Abort all still-blocked threads (end of one exploration run).
+
+        Threads that fail to unwind within ``join_timeout`` are recorded
+        in :attr:`leaked_threads` and reported through the observer — a
+        leaked OS thread is a real resource loss worth surfacing, not
+        something to time out on silently.
+        """
         if self._closed:
             return
         self._closed = True
-        for task in self._tasks.values():
-            task.abort()
+        timeout = self.join_timeout
+        if self.step_timeout is not None:
+            # Under a watchdog, teardown should not out-wait the budget.
+            timeout = min(timeout, self.step_timeout)
+        leaked = tuple(task.name for task in self._tasks.values()
+                       if task.abort(join_timeout=timeout))
+        self.leaked_threads = leaked
+        if leaked and self.observer is not None:
+            self.observer.thread_leaked(leaked)
 
 
 class NativeEnv:

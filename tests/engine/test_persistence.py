@@ -97,3 +97,27 @@ class TestValidation:
         path.write_text(json.dumps({"format": 1}))
         with pytest.raises(ValueError):
             load_schedule(path)
+
+
+class TestAtomicity:
+    """A repro file is written atomically; a torn file loads loudly."""
+
+    def test_save_leaves_no_tmp_file(self, found):
+        program, record, tmp_path = found
+        save_schedule(tmp_path / "bug.json", program, record)
+        save_schedule(tmp_path / "bug.json", program, record)  # overwrite
+        assert [p.name for p in tmp_path.iterdir()] == ["bug.json"]
+
+    def test_truncated_file_raises_clear_value_error(self, found):
+        program, record, tmp_path = found
+        path = save_schedule(tmp_path / "bug.json", program, record)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # simulate a torn write
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            load_schedule(path)
+
+    def test_non_object_payload_raises_clear_value_error(self, tmp_path):
+        path = tmp_path / "bug.json"
+        path.write_text("[]")
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            load_schedule(path)

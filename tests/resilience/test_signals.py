@@ -1,0 +1,71 @@
+"""Graceful-stop semantics (flag, escalation, handler install/restore)."""
+
+import signal
+import threading
+
+import pytest
+
+from repro.resilience import GracefulStop, ResilienceController, ResilienceOptions
+
+
+class TestGracefulStop:
+    def test_programmatic_request_sets_the_flag(self):
+        stop = GracefulStop(install=False)
+        assert not stop.requested
+        stop.request("test")
+        assert stop.requested
+        assert stop.signal_name == "test"
+
+    def test_first_signal_sets_flag_second_sigint_escalates(self):
+        stop = GracefulStop(install=False)
+        stop._handle(signal.SIGINT, None)
+        assert stop.requested
+        assert stop.signal_name == "SIGINT"
+        with pytest.raises(KeyboardInterrupt):
+            stop._handle(signal.SIGINT, None)
+
+    def test_sigterm_after_sigterm_does_not_escalate(self):
+        stop = GracefulStop(install=False)
+        stop._handle(signal.SIGTERM, None)
+        stop._handle(signal.SIGTERM, None)  # repeat is idempotent
+        assert stop.signal_name == "SIGTERM"
+
+    def test_context_manager_installs_and_restores_handlers(self):
+        before = signal.getsignal(signal.SIGINT)
+        with GracefulStop() as stop:
+            assert signal.getsignal(signal.SIGINT) == stop._handle
+            assert signal.getsignal(signal.SIGTERM) == stop._handle
+        assert signal.getsignal(signal.SIGINT) == before
+
+    def test_degrades_to_plain_flag_off_the_main_thread(self):
+        before = signal.getsignal(signal.SIGINT)
+        seen = {}
+
+        def worker():
+            with GracefulStop() as stop:
+                seen["handler"] = signal.getsignal(signal.SIGINT)
+                stop.request()
+                seen["requested"] = stop.requested
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen["handler"] == before  # nothing installed
+        assert seen["requested"]
+
+
+class TestControllerStop:
+    def test_stop_requested_maps_to_interrupted(self):
+        controller = ResilienceController(ResilienceOptions())
+        assert controller.stop_requested() is None
+        controller.request_stop("test")
+        assert controller.stop_requested() == "interrupted"
+        assert controller.stop_signal == "test"
+
+    def test_attached_stop_is_observed(self):
+        controller = ResilienceController(ResilienceOptions())
+        stop = GracefulStop(install=False)
+        controller.attach_stop(stop)
+        assert controller.stop_requested() is None
+        stop.request("SIGTERM")
+        assert controller.stop_requested() == "interrupted"
