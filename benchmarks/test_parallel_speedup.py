@@ -1,0 +1,77 @@
+"""Parallel sharded search: the Fig. 5/6 sweep at ``workers=1`` vs
+``workers=4``.
+
+The counted sweeps behind Figures 5/6 (dining philosophers, the
+work-stealing queue) are repeated through ``Checker(workers=N)``; the
+determinism contract — identical verdicts, executions and transitions at
+every worker count — is enforced inside :func:`parallel_speedup`, which
+raises on any mismatch, so a timing row only exists for runs that agreed
+with the serial baseline.  Results land in ``BENCH_parallel.json`` at the
+repo root alongside the per-run wall times, the speedup over serial and
+the machine's core count: on single-core machines the parallel run is
+*slower* (the pool is pure overhead), which the JSON records honestly —
+the ≥2.5× speedup target is asserted only when the hardware has the four
+cores it presumes.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.bench.experiments import parallel_speedup
+from repro.bench.tables import format_table
+from repro.workloads.dining import dining_philosophers
+from repro.workloads.wsq import work_stealing_queue
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+WORKER_COUNTS = (1, 4)
+
+
+def test_parallel_speedup(benchmark, report, scale):
+    wsq_bound = 2 if scale == "full" else 1
+
+    def sweep():
+        return [
+            parallel_speedup(
+                lambda: dining_philosophers(3),
+                worker_counts=WORKER_COUNTS,
+                depth_bound=400, preemption_bound=3,
+            ),
+            parallel_speedup(
+                lambda: work_stealing_queue(items=1, stealers=1),
+                worker_counts=WORKER_COUNTS,
+                depth_bound=400, preemption_bound=wsq_bound,
+            ),
+        ]
+
+    entries = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    payload = {
+        "bench": "parallel_speedup",
+        "scale": scale,
+        "cpu_count": os.cpu_count(),
+        "worker_counts": list(WORKER_COUNTS),
+        "entries": entries,
+    }
+    bench_path = REPO_ROOT / "BENCH_parallel.json"
+    bench_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = []
+    for entry in entries:
+        for run in entry["runs"]:
+            rows.append([entry["program"], run["workers"],
+                         f"{run['seconds']:.2f}", run["executions"],
+                         f"{run['speedup']:.2f}x"])
+    report("parallel_speedup", format_table(
+        ["program", "workers", "seconds", "executions", "speedup"], rows,
+        title=f"Parallel sharded search — wall time by worker count "
+              f"({os.cpu_count()} CPU core(s); identical totals enforced)",
+    ))
+
+    if (os.cpu_count() or 1) >= 4:
+        for entry in entries:
+            best = max(run["speedup"] for run in entry["runs"])
+            assert best >= 2.5, (
+                f"{entry['program']}: best speedup {best}x < 2.5x "
+                f"on a {os.cpu_count()}-core machine"
+            )

@@ -177,8 +177,16 @@ class Checker:
         max_crashes: Optional[int] = None,
         quarantine_dir: Optional[str] = None,
         handle_signals: bool = True,
+        workers: int = 1,
+        shard_target: Optional[int] = None,
     ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be positive")
         self.program = program
+        #: Worker processes for the sharded search (1 = serial, today's
+        #: behavior; see docs/parallel.md).
+        self.workers = workers
+        self.shard_target = shard_target
         self.fairness = fairness
         #: Optional :class:`repro.obs.Observer`; None (the default) keeps
         #: the exploration hot path free of telemetry work.
@@ -270,7 +278,13 @@ class Checker:
         quarantine) the search also converts the first SIGINT/SIGTERM
         into a graceful stop: a final checkpoint is flushed and the
         partial results come back with ``stop_reason="interrupted"``.
+
+        With ``workers > 1`` the schedule space is sharded across a pool
+        of worker processes (docs/parallel.md); counted sweeps merge to
+        the same totals and verdicts as a serial run.
         """
+        if self.workers > 1:
+            return self._run_parallel(resume_from)
         options = self.resilience_options
         controller = None
         if options.enabled or resume_from is not None:
@@ -305,7 +319,16 @@ class Checker:
         else:
             exploration = raw
 
-        warnings: List[str] = []
+        return CheckResult(
+            program_name=self.program.name,
+            exploration=exploration,
+            warnings=self._build_warnings(exploration),
+        )
+
+    def _build_warnings(self, exploration: ExplorationResult,
+                        extra: Optional[List[str]] = None) -> List[str]:
+        options = self.resilience_options
+        warnings: List[str] = list(extra or [])
         if exploration.interrupted:
             note = "search interrupted; results are partial"
             if options.checkpoint_path is not None:
@@ -323,10 +346,59 @@ class Checker:
                     f"unfair divergence observed ({record.divergence.detail}); "
                     f"enable fairness to prune such schedules"
                 )
+        return warnings
+
+    def _run_parallel(self, resume_from: Optional[str]) -> CheckResult:
+        """The ``workers > 1`` path: shard, fan out, merge."""
+        from repro.parallel import ParallelCoordinator
+
+        options = self.resilience_options
+        controller = None
+        if options.enabled or resume_from is not None:
+            controller = ResilienceController(
+                options,
+                program=self.program,
+                policy_name=self.policy_factory().name,
+                config=self.config,
+                observer=self.observer,
+            )
+        max_bound = (self.config.preemption_bound
+                     if self.config.preemption_bound is not None else 2)
+        coordinator = ParallelCoordinator(
+            self.program, self.policy_factory, self.config, self.limits,
+            strategy=self.strategy,
+            workers=self.workers,
+            shard_target=self.shard_target,
+            seed=self.seed,
+            random_executions=self.random_executions,
+            max_bound=max_bound,
+            coverage=self.coverage,
+            observer=self.observer,
+            resilience=controller,
+            resilience_options=options,
+        )
+        if resume_from is not None:
+            payload = load_checkpoint(resume_from)
+            recorded = payload.get("program")
+            if recorded not in (None, self.program.name):
+                raise ValueError(
+                    f"checkpoint was recorded for program {recorded!r}, "
+                    f"got {self.program.name!r}"
+                )
+            coordinator.load_state_dict(payload["state"])
+
+        if controller is not None and options.handle_signals:
+            with GracefulStop() as stop:
+                controller.attach_stop(stop)
+                exploration = coordinator.run()
+        else:
+            exploration = coordinator.run()
+
         return CheckResult(
             program_name=self.program.name,
             exploration=exploration,
-            warnings=warnings,
+            warnings=self._build_warnings(exploration,
+                                          extra=coordinator.warnings),
         )
 
     # ------------------------------------------------------------------

@@ -164,6 +164,15 @@ def _add_checker_options(parser: argparse.ArgumentParser) -> None:
     resilience.add_argument("--quarantine-dir", metavar="DIR",
                             help="save each quarantined crash's schedule as "
                                  "a repro file in DIR")
+    parallel = parser.add_argument_group(
+        "parallel", "sharded multi-process search (docs/parallel.md)")
+    parallel.add_argument("--workers", type=int, default=1, metavar="N",
+                          help="worker processes for the search (1 = serial; "
+                               "merged totals are worker-count independent)")
+    parallel.add_argument("--shards", type=int, default=None, metavar="N",
+                          help="target shard count for the parallel plan "
+                               "(default 16; more shards = finer-grained "
+                               "load balancing)")
 
 
 def _make_observer(options: argparse.Namespace):
@@ -200,6 +209,8 @@ def _make_checker(program: Program, options: argparse.Namespace) -> Checker:
         execution_budget_seconds=options.execution_budget,
         max_crashes=options.max_crashes,
         quarantine_dir=options.quarantine_dir,
+        workers=options.workers,
+        shard_target=options.shards,
     )
 
 

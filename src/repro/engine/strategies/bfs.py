@@ -44,6 +44,7 @@ class BfsStrategy(SearchStrategy):
         config: Optional[ExecutorConfig] = None,
         limits: Optional[ExplorationLimits] = None,
         *,
+        prefix: Optional[List[int]] = None,
         coverage: Optional[CoverageTracker] = None,
         listener: Optional[Callable[[ExecutionResult], None]] = None,
         observer=None,
@@ -59,7 +60,10 @@ class BfsStrategy(SearchStrategy):
             observer=observer,
             resilience=resilience,
         )
-        self.queue: deque = deque([[]])
+        # A prefix roots the level-order walk at one subtree node; the
+        # queue can never leave the subtree because children only extend
+        # their parent's guide.
+        self.queue: deque = deque([list(prefix or [])])
 
     # ------------------------------------------------------------------
     def _has_work(self) -> bool:

@@ -199,6 +199,7 @@ class SleepSetStrategy(SearchStrategy):
         *,
         depth_bound: Optional[int] = None,
         limits: Optional[ExplorationLimits] = None,
+        prefix: Optional[List[int]] = None,
         coverage: Optional[CoverageTracker] = None,
         listener: Optional[Callable[[ExecutionResult], None]] = None,
         observer=None,
@@ -215,7 +216,11 @@ class SleepSetStrategy(SearchStrategy):
             resilience=resilience,
         )
         self.depth_bound = depth_bound
-        self.guide: Optional[List[int]] = []
+        #: Pinned decisions confining the search to one subtree.  Sleep
+        #: sets are a deterministic function of the guide, so a prefix
+        #: partition of the reduced tree is exact, like plain DFS.
+        self.prefix: List[int] = list(prefix or [])
+        self.guide: Optional[List[int]] = list(self.prefix)
 
     def strategy_label(self) -> str:
         return "dfs+sleepsets"
@@ -236,6 +241,8 @@ class SleepSetStrategy(SearchStrategy):
 
     def _advance(self, record: ExecutionResult) -> None:
         self.guide = next_dfs_guide(record.decisions)
+        if self.guide is not None and len(self.guide) <= len(self.prefix):
+            self.guide = None
 
     def _announce(self) -> None:
         if self.observer is not None and self.guide is not None:
@@ -243,10 +250,12 @@ class SleepSetStrategy(SearchStrategy):
 
     # ------------------------------------------------------------------
     def _frontier_state(self) -> dict:
-        return {"guide": self.guide, "depth_bound": self.depth_bound}
+        return {"guide": self.guide, "prefix": self.prefix,
+                "depth_bound": self.depth_bound}
 
     def _load_frontier(self, state: dict) -> None:
         self.guide = state.get("guide", [])
+        self.prefix = list(state.get("prefix", []))
         self.depth_bound = state.get("depth_bound", self.depth_bound)
 
 

@@ -7,9 +7,13 @@ standalone baseline.  Random scheduling is fair with probability one, so a
 fair-terminating program terminates almost surely under it — but it gives
 no systematic coverage guarantee, which is the point of comparison.
 
-The frontier is the remaining execution budget plus the RNG state, so a
-resumed random search continues the *same* pseudo-random sequence rather
-than replaying executions it already tried.
+Walk *i* of a run with seed *s* draws from ``random.Random(f"{s}:{i}")``
+rather than one continuous RNG stream.  String seeding hashes through
+SHA-512, so the derived generators are stable across processes and Python
+versions — which makes the search *partitionable*: any split of the index
+range ``[start, start + executions)`` across workers replays the exact
+executions a serial run would (see :mod:`repro.parallel`).  The frontier
+is just the next index, so checkpoints are a few integers.
 """
 
 from __future__ import annotations
@@ -23,7 +27,16 @@ from repro.engine.coverage import CoverageTracker
 from repro.engine.executor import ExecutorConfig, RandomChooser, run_execution
 from repro.engine.results import ExecutionResult, ExplorationResult
 from repro.engine.strategies.base import ExplorationLimits, SearchStrategy
-from repro.resilience.checkpoint import freeze_rng, thaw_rng
+
+
+def walk_rng(seed, index: int) -> random.Random:
+    """The RNG for walk ``index`` of a random search with ``seed``.
+
+    Derived, not streamed: every walk's generator is a pure function of
+    ``(seed, index)``, so walks can run in any order, on any worker, and
+    still make the choices a serial run would have made.
+    """
+    return random.Random(f"{seed}:{index}")
 
 
 class RandomWalkStrategy(SearchStrategy):
@@ -43,6 +56,7 @@ class RandomWalkStrategy(SearchStrategy):
         *,
         executions: int = 100,
         seed: int = 0,
+        start: int = 0,
         coverage: Optional[CoverageTracker] = None,
         listener: Optional[Callable[[ExecutionResult], None]] = None,
         observer=None,
@@ -59,44 +73,61 @@ class RandomWalkStrategy(SearchStrategy):
             resilience=resilience,
         )
         self.total = executions
-        self.remaining = executions
-        self.rng = random.Random(seed)
+        self.seed = seed
+        #: First walk index of this (possibly sharded) budget slice.
+        self.start = start
+        self.next_index = start
+        self.end = start + executions
 
     def strategy_label(self) -> str:
         return f"random(n={self.total})"
 
+    @property
+    def remaining(self) -> int:
+        return max(0, self.end - self.next_index)
+
     # ------------------------------------------------------------------
     def _has_work(self) -> bool:
-        return self.remaining > 0
+        return self.next_index < self.end
 
     def _run_once(self) -> ExecutionResult:
+        rng = walk_rng(self.seed, self.next_index)
         return run_execution(
             self.program,
             self.policy_factory(),
-            RandomChooser(self.rng),
+            RandomChooser(rng),
             self.config,
             coverage=self.coverage,
-            completion_rng=self.rng,
+            completion_rng=rng,
             observer=self.observer,
         )
 
     def _advance(self, record: ExecutionResult) -> None:
-        self.remaining -= 1
+        self.next_index += 1
 
     # ------------------------------------------------------------------
     def _frontier_state(self) -> dict:
         return {
-            "remaining": self.remaining,
+            "next_index": self.next_index,
+            "start": self.start,
+            "end": self.end,
             "total": self.total,
-            "rng": freeze_rng(self.rng),
+            "seed": self.seed,
         }
 
     def _load_frontier(self, state: dict) -> None:
-        self.remaining = state.get("remaining", 0)
         self.total = state.get("total", self.total)
-        rng_state = state.get("rng")
-        if rng_state is not None:
-            thaw_rng(self.rng, rng_state)
+        self.seed = state.get("seed", self.seed)
+        if "next_index" in state:
+            self.start = state.get("start", 0)
+            self.end = state.get("end", self.start + self.total)
+            self.next_index = state["next_index"]
+        else:
+            # Pre-sharding checkpoint shape ({remaining, total, rng}): the
+            # walk indices left are the tail of [0, total).
+            self.start = 0
+            self.end = self.total
+            self.next_index = self.total - state.get("remaining", 0)
 
 
 def explore_random(

@@ -33,8 +33,11 @@ from repro.obs.events import (
     Preemption,
     SchedulingDecision,
     SearchInterrupted,
+    ShardFinished,
+    ShardStarted,
     ThreadLeaked,
     ViolationFound,
+    WorkerCrashed,
     event_from_dict,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -62,7 +65,10 @@ __all__ = [
     "Histogram",
     "IcbSweep",
     "SearchInterrupted",
+    "ShardFinished",
+    "ShardStarted",
     "ThreadLeaked",
+    "WorkerCrashed",
     "JsonlTraceWriter",
     "MetricsRegistry",
     "MultiSink",

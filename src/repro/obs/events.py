@@ -209,6 +209,42 @@ class SearchInterrupted(Event):
     signal: str
 
 
+@dataclass(frozen=True)
+class ShardStarted(Event):
+    """A worker picked up one shard of a parallel search."""
+
+    type: ClassVar[str] = "shard.started"
+
+    shard: int
+    worker: int
+    description: str  # the shard's prefix or walk range
+
+
+@dataclass(frozen=True)
+class ShardFinished(Event):
+    """One shard of a parallel search was merged into the totals."""
+
+    type: ClassVar[str] = "shard.finished"
+
+    shard: int
+    worker: int
+    executions: int
+    transitions: int
+    found_violation: bool
+
+
+@dataclass(frozen=True)
+class WorkerCrashed(Event):
+    """A worker process died mid-shard; the shard was requeued or
+    quarantined (docs/parallel.md)."""
+
+    type: ClassVar[str] = "worker.crashed"
+
+    worker: int
+    shard: int  # -1 when the worker was idle
+    requeued: bool
+
+
 #: Registry of wire names, for trace readers.
 EVENT_TYPES: Dict[str, type] = {
     cls.type: cls
@@ -228,6 +264,9 @@ EVENT_TYPES: Dict[str, type] = {
         CrashQuarantined,
         ThreadLeaked,
         SearchInterrupted,
+        ShardStarted,
+        ShardFinished,
+        WorkerCrashed,
     )
 }
 

@@ -164,6 +164,10 @@ class MetricsRegistry:
         return TimerHandle(self.histogram(f"{name}.seconds"))
 
     # -- introspection & export ----------------------------------------
+    def has_counter(self, name: str) -> bool:
+        """True when the counter already exists (without creating it)."""
+        return name in self._counters
+
     def __len__(self) -> int:
         return (len(self._counters) + len(self._gauges)
                 + len(self._histograms))

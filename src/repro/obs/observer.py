@@ -41,8 +41,11 @@ from repro.obs.events import (
     Preemption,
     SchedulingDecision,
     SearchInterrupted,
+    ShardFinished,
+    ShardStarted,
     ThreadLeaked,
     ViolationFound,
+    WorkerCrashed,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.progress import ProgressReporter
@@ -255,6 +258,31 @@ class Observer:
     def search_interrupted(self, signal: str) -> None:
         if self.sink is not None:
             self.sink.emit(SearchInterrupted(signal=signal))
+
+    # ------------------------------------------------------------------
+    # parallel-search hooks (called from the coordinator)
+    # ------------------------------------------------------------------
+    def shard_started(self, shard: int, worker: int,
+                      description: str) -> None:
+        if self.sink is not None:
+            self.sink.emit(ShardStarted(shard=shard, worker=worker,
+                                        description=description))
+
+    def shard_finished(self, shard: int, worker: int, executions: int,
+                       transitions: int, found_violation: bool) -> None:
+        self.metrics.counter("shards.completed").inc()
+        if self.sink is not None:
+            self.sink.emit(ShardFinished(
+                shard=shard, worker=worker, executions=executions,
+                transitions=transitions, found_violation=found_violation,
+            ))
+
+    def worker_crashed(self, worker: int, shard: int,
+                       requeued: bool) -> None:
+        self.metrics.counter("workers.crashed").inc()
+        if self.sink is not None:
+            self.sink.emit(WorkerCrashed(worker=worker, shard=shard,
+                                         requeued=requeued))
 
     # ------------------------------------------------------------------
     # coverage hooks

@@ -1,0 +1,204 @@
+"""The worker side of parallel exploration.
+
+A worker owns one shard at a time: it rebuilds the strategy confined to
+the shard (prefix subtree or walk-index range), explores it with the full
+resilience armor (watchdog budgets, crash capture, quarantine), and
+streams compact per-execution telemetry plus one final serialized
+:class:`~repro.engine.results.ExplorationResult` back to the coordinator.
+
+Everything here is usable in two modes:
+
+* :func:`run_shard` — in-process, used by the coordinator's inline
+  fallback (platforms without ``fork``) and by unit tests;
+* :func:`worker_main` — the target of a forked worker process, pulling
+  shard descriptions off the task queue until it sees the ``None``
+  sentinel or the coordinator's stop event.
+
+Workers ignore SIGINT/SIGTERM: operator signals are the *coordinator's*
+to handle (it converts them into the shared stop event so every worker
+winds down gracefully and a final merged checkpoint can be flushed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue as queue_module
+import signal
+import traceback
+from typing import Callable, List, Optional, Tuple
+
+from repro.engine.coverage import CoverageTracker
+from repro.engine.strategies import (
+    BfsStrategy,
+    DfsStrategy,
+    ExplorationLimits,
+    RandomWalkStrategy,
+    SleepSetStrategy,
+)
+from repro.parallel.shard import Shard
+from repro.resilience import ResilienceController, ResilienceOptions
+from repro.resilience.checkpoint import exploration_to_state
+from repro.resilience.quarantine import CrashQuarantine
+
+
+def build_shard_strategy(
+    program,
+    policy_factory,
+    config,
+    limits: ExplorationLimits,
+    strategy_name: str,
+    shard: Shard,
+    *,
+    seed: int = 0,
+    bound: Optional[int] = None,
+    coverage: Optional[CoverageTracker] = None,
+    listener: Optional[Callable] = None,
+    resilience=None,
+):
+    """The strategy object exploring exactly one shard's slice of work.
+
+    ``bound`` is the preemption bound of the current ICB sweep (None for
+    the other strategies); the shard itself carries the prefix or range.
+    """
+    if strategy_name in ("dfs", "icb"):
+        cfg = config
+        label = "dfs"
+        if strategy_name == "icb":
+            cfg = dataclasses.replace(config, preemption_bound=bound)
+            label = f"cb={bound}"
+        return DfsStrategy(
+            program, policy_factory, cfg, limits,
+            prefix=list(shard.prefix), strategy_name=label,
+            coverage=coverage, listener=listener, resilience=resilience,
+        )
+    if strategy_name == "bfs":
+        return BfsStrategy(
+            program, policy_factory, config, limits,
+            prefix=list(shard.prefix),
+            coverage=coverage, listener=listener, resilience=resilience,
+        )
+    if strategy_name == "por":
+        return SleepSetStrategy(
+            program, policy_factory, depth_bound=config.depth_bound,
+            limits=limits, prefix=list(shard.prefix),
+            coverage=coverage, listener=listener, resilience=resilience,
+        )
+    if strategy_name == "random":
+        return RandomWalkStrategy(
+            program, policy_factory, config, limits,
+            executions=shard.count, seed=seed, start=shard.start,
+            coverage=coverage, listener=listener, resilience=resilience,
+        )
+    raise ValueError(f"strategy {strategy_name!r} cannot be sharded")
+
+
+def run_shard(
+    program,
+    policy_factory,
+    config,
+    limits: ExplorationLimits,
+    strategy_name: str,
+    shard: Shard,
+    *,
+    seed: int = 0,
+    bound: Optional[int] = None,
+    collect_coverage: bool = False,
+    on_execution: Optional[Callable] = None,
+    stop_check: Optional[Callable[[], Optional[str]]] = None,
+    controller: Optional[ResilienceController] = None,
+) -> Tuple[dict, List[object]]:
+    """Explore one shard; returns ``(exploration_state, signatures)``.
+
+    ``on_execution(record)`` streams per-execution telemetry;
+    ``stop_check()`` returning a reason requests a graceful stop at the
+    next iteration boundary (the coordinator's stop event, or the inline
+    mode's global limit bookkeeping).
+    """
+    coverage = CoverageTracker() if collect_coverage else None
+    if controller is None and stop_check is not None:
+        controller = ResilienceController(
+            ResilienceOptions(handle_signals=False), program=program)
+
+    def listener(record):
+        if on_execution is not None:
+            on_execution(record)
+        if stop_check is not None:
+            reason = stop_check()
+            if reason is not None:
+                controller.request_stop(reason)
+
+    strategy = build_shard_strategy(
+        program, policy_factory, config, limits, strategy_name, shard,
+        seed=seed, bound=bound, coverage=coverage, listener=listener,
+        resilience=controller,
+    )
+    result = strategy.explore()
+    signatures = sorted(coverage.signatures(), key=repr) if coverage else []
+    return exploration_to_state(result), signatures
+
+
+def worker_main(
+    worker_id: int,
+    program,
+    policy_factory,
+    config,
+    limits: ExplorationLimits,
+    strategy_name: str,
+    seed: int,
+    resilience_options: Optional[ResilienceOptions],
+    collect_coverage: bool,
+    task_queue,
+    result_queue,
+    stop_event,
+) -> None:
+    """Entry point of one forked worker process."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    options = resilience_options or ResilienceOptions()
+    options = dataclasses.replace(options, checkpoint_path=None,
+                                  handle_signals=False)
+    controller = ResilienceController(
+        options, program=program,
+        policy_name=getattr(policy_factory(), "name", ""), config=config)
+    # Per-worker quarantine filenames so two workers crashing at once
+    # never race for the same crash-NNNN.json slot.
+    controller.quarantine = CrashQuarantine(
+        options.quarantine_dir, prefix=f"crash-w{worker_id}")
+    try:
+        while True:
+            if stop_event.is_set():
+                break
+            try:
+                item = task_queue.get(timeout=0.2)
+            except queue_module.Empty:
+                continue
+            if item is None:
+                break
+            phase, bound, shard_state = item
+            shard = Shard.from_state(shard_state)
+            result_queue.put(("start", worker_id, phase, shard.index))
+
+            def on_execution(record, phase=phase, index=shard.index):
+                result_queue.put((
+                    "execution", worker_id, phase, index,
+                    record.outcome.value, record.steps, record.preemptions,
+                    record.hit_depth_bound,
+                ))
+
+            try:
+                state, signatures = run_shard(
+                    program, policy_factory, config, limits, strategy_name,
+                    shard, seed=seed, bound=bound,
+                    collect_coverage=collect_coverage,
+                    on_execution=on_execution,
+                    stop_check=(lambda: "coordinator"
+                                if stop_event.is_set() else None),
+                    controller=controller,
+                )
+                result_queue.put(("done", worker_id, phase, shard.index,
+                                  state, signatures))
+            except Exception:
+                result_queue.put(("error", worker_id, phase, shard.index,
+                                  traceback.format_exc()))
+    finally:
+        result_queue.put(("exit", worker_id))

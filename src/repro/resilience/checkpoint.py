@@ -207,10 +207,25 @@ def exploration_from_state(state: dict) -> ExplorationResult:
 # ----------------------------------------------------------------------
 
 class CheckpointStore:
-    """Versioned checkpoint file with atomic (tmp + rename) writes."""
+    """Versioned checkpoint file with atomic (tmp + rename) writes.
+
+    Opening a store sweeps up any stale ``<name>.tmp`` sibling left by a
+    write that was killed between serializing and renaming (the atomic
+    path guarantees the *checkpoint* is never truncated, but the orphan
+    tmp file itself would otherwise accumulate across interrupted runs).
+    """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
+        stale = self._tmp_path()
+        if stale.exists():
+            try:
+                stale.unlink()
+            except OSError:
+                pass  # unreadable/foreign tmp file: leave it alone
+
+    def _tmp_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".tmp")
 
     def exists(self) -> bool:
         return self.path.exists()
@@ -220,7 +235,7 @@ class CheckpointStore:
         document = dict(payload)
         document["format"] = FORMAT_VERSION
         document["saved_at"] = time.time()
-        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp = self._tmp_path()
         if self.path.parent and not self.path.parent.exists():
             self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp.write_text(

@@ -1,0 +1,121 @@
+"""Shard planner invariants: disjoint, exhaustive, worker-count free.
+
+The prefix planner is probed against the real choice tree of small
+workloads; the partition invariants here are what the serial-equivalence
+guarantees in docs/parallel.md rest on.
+"""
+
+import pytest
+
+from repro.core.policies import fair_policy
+from repro.engine.executor import ExecutorConfig, GuidedChooser, run_execution
+from repro.parallel import (
+    DEFAULT_SHARD_TARGET,
+    Shard,
+    ShardPlan,
+    plan_prefix_shards,
+    plan_range_shards,
+)
+from repro.workloads.dining import dining_philosophers
+
+
+def dining_probe(config=None):
+    program = dining_philosophers(2)
+    config = config or ExecutorConfig(depth_bound=300)
+
+    def probe(prefix):
+        return run_execution(program, fair_policy()(),
+                             GuidedChooser(prefix), config)
+
+    return probe
+
+
+class TestPrefixPlanning:
+    def test_partition_is_disjoint_and_ordered(self):
+        plan = plan_prefix_shards(dining_probe(), target=8)
+        prefixes = [s.prefix for s in plan.shards]
+        assert len(plan.shards) >= 8
+        assert prefixes == sorted(prefixes)
+        assert len(set(prefixes)) == len(prefixes)
+        # Disjoint subtrees: no shard prefix extends another.
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1:]:
+                assert a != b[:len(a)], f"{a} is a prefix of {b}"
+
+    def test_shard_indices_are_sequential(self):
+        plan = plan_prefix_shards(dining_probe(), target=6)
+        assert [s.index for s in plan.shards] == list(range(len(plan.shards)))
+        assert all(s.kind == "prefix" for s in plan.shards)
+
+    def test_preamble_holds_one_record_per_interior_probe(self):
+        plan = plan_prefix_shards(dining_probe(), target=8)
+        # Every preamble record extends its probe prefix (interior node);
+        # leaves never land in the preamble.
+        assert plan.preamble
+        for record in plan.preamble:
+            assert record.decisions
+
+    def test_plan_is_independent_of_worker_count(self):
+        # The planner has no worker-count input at all; two plans built
+        # with the same target are identical.
+        first = plan_prefix_shards(dining_probe(), target=DEFAULT_SHARD_TARGET)
+        second = plan_prefix_shards(dining_probe(),
+                                    target=DEFAULT_SHARD_TARGET)
+        assert [s.prefix for s in first.shards] == \
+            [s.prefix for s in second.shards]
+
+    def test_probe_budget_bounds_planning(self):
+        calls = [0]
+        real = dining_probe()
+
+        def counting(prefix):
+            calls[0] += 1
+            return real(prefix)
+
+        plan = plan_prefix_shards(counting, target=4, max_probes=3)
+        assert calls[0] <= 3
+        assert plan.shards  # still yields a usable partition
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError, match="positive"):
+            plan_prefix_shards(dining_probe(), target=0)
+
+
+class TestRangePlanning:
+    def test_ranges_tile_the_walk_space(self):
+        plan = plan_range_shards(103, target=16)
+        assert len(plan.shards) == 16
+        covered = []
+        for shard in plan.shards:
+            assert shard.kind == "range"
+            covered.extend(range(shard.start, shard.start + shard.count))
+        assert covered == list(range(103))
+
+    def test_small_totals_get_one_walk_per_shard(self):
+        plan = plan_range_shards(5, target=16)
+        assert len(plan.shards) == 5
+        assert all(s.count == 1 for s in plan.shards)
+
+    def test_zero_total_is_an_empty_plan(self):
+        assert plan_range_shards(0, target=16).shards == []
+
+
+class TestShardSerialization:
+    def test_shard_round_trip(self):
+        shard = Shard(index=3, kind="prefix", prefix=(1, 0, 2))
+        assert Shard.from_state(shard.to_state()) == shard
+        walk = Shard(index=0, kind="range", start=25, count=75)
+        assert Shard.from_state(walk.to_state()) == walk
+
+    def test_plan_round_trip_preserves_preamble(self):
+        plan = plan_prefix_shards(dining_probe(), target=6)
+        restored = ShardPlan.from_state(plan.to_state())
+        assert [s.prefix for s in restored.shards] == \
+            [s.prefix for s in plan.shards]
+        assert len(restored.preamble) == len(plan.preamble)
+        assert [r.steps for r in restored.preamble] == \
+            [r.steps for r in plan.preamble]
+
+    def test_describe_names_the_slice(self):
+        assert "prefix" in Shard(0, "prefix", prefix=(1,)).describe()
+        assert "[10, 15)" in Shard(0, "range", start=10, count=5).describe()

@@ -1,0 +1,80 @@
+"""Wall-clock soak runs of the parallel checker (``-m soak`` only).
+
+Each paper workload is hammered repeatedly under ``workers=4`` with
+crash capture on until its slice of the ``REPRO_SOAK_SECONDS`` budget
+(default 60s, split evenly) is spent.  After every run the suite
+asserts the process came back clean: no leaked threads, no leaked
+worker processes, no unquarantined crashes, and verdicts that stay
+stable from iteration to iteration.
+
+Excluded from tier-1 via ``addopts = "-m 'not soak'"``; CI runs it as a
+dedicated job with ``pytest -m soak``.
+"""
+
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.checker import Checker
+from repro.workloads.boundedbuffer import bounded_buffer_program
+from repro.workloads.dining import dining_philosophers
+from repro.workloads.wsq import work_stealing_queue
+
+SOAK_SECONDS = float(os.environ.get("REPRO_SOAK_SECONDS", "60"))
+
+WORKLOADS = [
+    ("dining", lambda: dining_philosophers(2), dict(depth_bound=300)),
+    ("boundedbuffer",
+     lambda: bounded_buffer_program(items=1, consumers=1),
+     dict(depth_bound=400, preemption_bound=1)),
+    ("wsq", lambda: work_stealing_queue(items=1, stealers=1, bug=1),
+     dict(depth_bound=400, preemption_bound=1)),
+]
+
+pytestmark = pytest.mark.soak
+
+
+@pytest.mark.parametrize("name,factory,kwargs",
+                         WORKLOADS, ids=[w[0] for w in WORKLOADS])
+def test_soak_workload_under_workers(name, factory, kwargs, tmp_path):
+    budget = SOAK_SECONDS / len(WORKLOADS)
+    deadline = time.monotonic() + budget
+    baseline_threads = threading.active_count()
+
+    verdicts = set()
+    iterations = 0
+    while time.monotonic() < deadline:
+        result = Checker(
+            factory(), workers=4,
+            stop_on_first_violation=False,
+            stop_on_first_divergence=False,
+            max_crashes=100,
+            quarantine_dir=str(tmp_path / f"q{iterations}"),
+            handle_signals=False,
+            max_seconds=max(1.0, deadline - time.monotonic()),
+            **kwargs,
+        ).run()
+        iterations += 1
+        verdicts.add(result.ok)
+
+        # These workloads never crash: every crash would be a harness
+        # bug, and a quarantine warning would mean a shard was dropped.
+        assert result.exploration.outcomes.get("crashed", 0) == 0
+        assert not any("quarantined" in w for w in result.warnings), \
+            result.warnings
+
+        # The pool must be torn down after every run: no leaked worker
+        # processes and no leaked coordinator threads.
+        leaked = multiprocessing.active_children()
+        assert not leaked, f"leaked worker processes: {leaked}"
+        assert threading.active_count() <= baseline_threads + 1, (
+            f"thread leak: {threading.enumerate()}"
+        )
+
+    assert iterations >= 1
+    assert len(verdicts) == 1, (
+        f"verdict flapped across {iterations} soak iterations of {name}"
+    )

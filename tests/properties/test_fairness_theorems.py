@@ -1,0 +1,251 @@
+"""Fairness theorems, property-based over a small op vocabulary.
+
+Unlike :mod:`tests.properties.test_theorems` (which drives seed-indexed
+random transition systems), this suite draws *structured* VM programs —
+lists of operations over a tiny vocabulary (store / load / add /
+nested-lock sections / yielding spin-waits) — so a failing example
+shrinks to a minimal counterexample program instead of an opaque seed.
+
+Checked against the fair scheduler of Algorithm 1:
+
+* Theorem 3 — the priority relation stays acyclic, hence ``T = ∅ ⇔
+  ES = ∅``: every deadlock the fair checker reports is a real deadlock
+  of the unconstrained program (replayable under the nonfair policy),
+  never an artifact of fair deprioritisation.
+* Theorem 4 — an unfair cycle is unrolled at most twice: on programs
+  whose spin loops are eventually released, the fair search is finite
+  and no generated execution lets the spinner burn more than two
+  yielding iterations while another thread could run.
+
+The suites together draw well over 200 programs per run (see
+``max_examples`` below: 80 + 80 + 40 + 20 = 220).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.policies import fair_policy, nonfair_policy
+from repro.engine.executor import ExecutorConfig
+from repro.engine.replay import replay_schedule
+from repro.engine.results import Outcome
+from repro.engine.strategies import ExplorationLimits, explore_dfs
+from repro.runtime.api import yield_now
+from repro.runtime.program import VMProgram
+from repro.sync.atomics import SharedVar
+from repro.sync.mutex import Mutex
+
+N_VARS = 2
+N_MUTEXES = 2
+
+#: Straight-line ops: ("store", var, value) / ("load", var) / ("add", var).
+flat_op = st.one_of(
+    st.tuples(st.just("store"), st.integers(0, N_VARS - 1),
+              st.integers(0, 1)),
+    st.tuples(st.just("load"), st.integers(0, N_VARS - 1)),
+    st.tuples(st.just("add"), st.integers(0, N_VARS - 1)),
+)
+
+#: A nested-lock section: acquire m[i], acquire m[j], one flat op,
+#: release m[j], release m[i].  Two threads drawing (0, 1) and (1, 0)
+#: are the classic ABBA deadlock; drawing equal indices is re-entrant
+#: ordering (never deadlocks).  Lock use is balanced by construction.
+lock_op = st.tuples(st.just("lock2"), st.integers(0, N_MUTEXES - 1),
+                    st.integers(0, N_MUTEXES - 1), flat_op)
+
+#: A good-samaritan spin-wait: loop { load var; break if == value;
+#: yield }.  The only op that yields the processor.
+await_op = st.tuples(st.just("await"), st.integers(0, N_VARS - 1),
+                     st.integers(0, 1))
+
+thread_ops = st.lists(st.one_of(flat_op, lock_op), min_size=1, max_size=3)
+
+#: Scratch ops confined to x1, so a Theorem-4 worker never touches the
+#: x0 release counter its spinner is waiting on (an extra add would
+#: overshoot the awaited value and the spin would *correctly* diverge).
+scratch_op = st.one_of(
+    st.tuples(st.just("store"), st.just(1), st.integers(0, 1)),
+    st.tuples(st.just("load"), st.just(1)),
+    st.tuples(st.just("add"), st.just(1)),
+)
+
+#: Theorem-4 worker families, sized so the full fair tree stays under
+#: ~10k executions (stateless DFS path counts grow fast with a spinner
+#: in the mix): one worker with up to two scratch ops, or two workers
+#: sharing at most one.
+worker_family = st.one_of(
+    st.lists(scratch_op, min_size=0, max_size=2).map(lambda ops: [ops]),
+    st.lists(scratch_op, min_size=0, max_size=1).map(
+        lambda ops: [ops, []]),
+)
+
+
+def build_program(threads, *, waiter=None):
+    """A VMProgram running each drawn op list in its own thread.
+
+    ``waiter``, when given, is ``(var, value)``: an extra thread that
+    spin-waits (with yields) until ``vars[var] == value``.
+    """
+
+    def setup(env):
+        shared = [SharedVar(0, name=f"x{i}") for i in range(N_VARS)]
+        mutexes = [Mutex(name=f"m{i}") for i in range(N_MUTEXES)]
+
+        def run_flat(op):
+            if op[0] == "store":
+                yield from shared[op[1]].set(op[2])
+            elif op[0] == "load":
+                yield from shared[op[1]].get()
+            else:  # add
+                yield from shared[op[1]].fetch_add(1)
+
+        def runner(ops):
+            def body():
+                for op in ops:
+                    if op[0] == "lock2":
+                        _, i, j, inner = op
+                        yield from mutexes[i].acquire()
+                        yield from mutexes[j].acquire()
+                        yield from run_flat(inner)
+                        yield from mutexes[j].release()
+                        yield from mutexes[i].release()
+                    else:
+                        yield from run_flat(op)
+            return body
+
+        for index, ops in enumerate(threads):
+            env.spawn(runner(ops), name=f"w{index}")
+
+        if waiter is not None:
+            var, value = waiter
+
+            def spin():
+                while True:
+                    seen = yield from shared[var].get()
+                    if seen == value:
+                        break
+                    yield from yield_now()
+
+            env.spawn(spin, name="spin")
+
+        env.set_state_fn(lambda: (
+            tuple(v.peek() for v in shared),
+            tuple(m.owner_name() for m in mutexes),
+        ))
+
+    return VMProgram(setup, name="vocab")
+
+
+CONFIG = ExecutorConfig(depth_bound=200, on_depth_exceeded="divergence")
+LIMITS = ExplorationLimits(max_executions=400,
+                           stop_on_first_violation=False,
+                           stop_on_first_divergence=True)
+
+
+class TestTheorem3:
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(threads=st.lists(thread_ops, min_size=1, max_size=3))
+    def test_priority_relation_stays_acyclic(self, threads):
+        """``check_acyclic`` asserts Theorem 3 inside the policy on
+        every step; surviving a bounded DFS is the property."""
+        program = build_program(threads)
+        result = explore_dfs(
+            program, fair_policy(check_acyclic=True), CONFIG, LIMITS,
+        )
+        assert result.executions >= 1
+
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(threads=st.lists(
+        st.lists(lock_op, min_size=1, max_size=2), min_size=2, max_size=3))
+    def test_reported_deadlocks_are_real(self, threads):
+        """T = ∅ ⇒ ES = ∅: a deadlock reported by the *fair* search must
+        replay to a deadlock under the *nonfair* policy — it exists in
+        the unconstrained program, it is not fair deprioritisation
+        masquerading as a stuck state."""
+        program = build_program(threads)
+        records = []
+        explore_dfs(program, fair_policy(), CONFIG, LIMITS,
+                    listener=records.append)
+        for record in records:
+            if record.outcome is not Outcome.DEADLOCK:
+                continue
+            replayed = replay_schedule(
+                build_program(threads), record.schedule,
+                nonfair_policy(), CONFIG,
+            )
+            assert replayed.outcome is Outcome.DEADLOCK, (
+                f"fair search reported a deadlock the nonfair replay "
+                f"does not reach (got {replayed.outcome}); schedule="
+                f"{record.schedule}"
+            )
+
+
+def spinner_run_lengths(record, spin_name="spin"):
+    """Yielding iterations the spinner burns per scheduling window.
+
+    A window is a maximal run of consecutive spinner steps taken while
+    at least one other thread was enabled; each spin-loop iteration
+    contributes exactly one yielding step (the ``yield_now``).
+    """
+    runs = []
+    current = 0
+    for step in record.trace:
+        if step.thread_name == spin_name and len(step.enabled_before) >= 2:
+            if step.yielded:
+                current += 1
+        else:
+            if current:
+                runs.append(current)
+            current = 0
+    if current:
+        runs.append(current)
+    return runs
+
+
+class TestTheorem4:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(workers=worker_family)
+    def test_released_spin_loops_terminate_fairly(self, workers):
+        """Workers each bump a counter; the spinner waits for the total.
+        Every maximal execution terminates, so by Theorem 4 the *fair*
+        search is finite and divergence-free."""
+        threads = [ops + [("add", 0)] for ops in workers]
+        program = build_program(threads, waiter=(0, len(threads)))
+        result = explore_dfs(
+            program, fair_policy(), CONFIG,
+            ExplorationLimits(max_executions=12000,
+                              stop_on_first_violation=False,
+                              stop_on_first_divergence=True),
+        )
+        assert not result.found_divergence, (
+            "fair search diverged on a terminating spin program"
+        )
+        assert result.complete
+        assert result.outcomes.get(Outcome.TERMINATED, 0) == \
+            result.executions
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(workers=worker_family)
+    def test_unfair_cycle_unrolled_at_most_twice(self, workers):
+        """The quantitative content of Theorem 4: while another thread
+        could run, the fair scheduler lets the spin loop go round at
+        most twice before the priority edge forces a context switch."""
+        threads = [ops + [("add", 0)] for ops in workers]
+        program = build_program(threads, waiter=(0, len(threads)))
+        records = []
+        result = explore_dfs(
+            program, fair_policy(), CONFIG,
+            ExplorationLimits(max_executions=12000,
+                              stop_on_first_violation=False,
+                              stop_on_first_divergence=True),
+            listener=records.append,
+        )
+        assert result.complete
+        for record in records:
+            for run in spinner_run_lengths(record):
+                assert run <= 2, (
+                    f"spin loop unrolled {run} times in one window: "
+                    f"{[ (s.thread_name, s.operation) for s in record.trace ]}"
+                )

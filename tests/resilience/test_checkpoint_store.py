@@ -151,3 +151,26 @@ class TestCheckpointStore:
         path.write_text(json.dumps({"format": FORMAT_VERSION}))
         with pytest.raises(ValueError, match="no strategy state"):
             load_checkpoint(path)
+
+    def test_open_sweeps_stale_tmp_from_killed_write(self, tmp_path):
+        # A run killed between serializing and os.replace leaves
+        # search.ckpt.tmp behind; the next open must clean it up without
+        # touching the (valid) checkpoint itself.
+        store = CheckpointStore(tmp_path / "search.ckpt")
+        path = store.save(self.payload())
+        stale = tmp_path / "search.ckpt.tmp"
+        stale.write_text("{half a snapsho")
+        reopened = CheckpointStore(tmp_path / "search.ckpt")
+        assert not stale.exists()
+        assert reopened.load()["program"] == "p"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["search.ckpt"]
+        assert path.exists()
+
+    def test_open_without_checkpoint_still_sweeps_tmp(self, tmp_path):
+        # Repeated interrupted runs can orphan a tmp file even when no
+        # checkpoint was ever completed.
+        stale = tmp_path / "fresh.ckpt.tmp"
+        stale.write_text("")
+        store = CheckpointStore(tmp_path / "fresh.ckpt")
+        assert not stale.exists()
+        assert not store.exists()
