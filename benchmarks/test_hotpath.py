@@ -1,0 +1,81 @@
+"""Exploration hot path: prefix replay cost with the snapshot cache.
+
+Guided stateless search re-executes every decision prefix from the
+initial state; ``docs/performance.md`` describes the prefix-snapshot
+cache that fast-forwards those prefixes instead.  This benchmark runs the
+DFS sweep over the bounded-buffer workload (and the work-stealing queue
+at full scale) with the cache off and on — identical verdicts,
+executions and transitions are enforced inside :func:`hotpath_replay`,
+which raises on any mismatch — and records both runs' replay counters in
+``BENCH_hotpath.json`` at the repo root.  The gate is the re-executed
+transition count, not wall-clock: ``executions.replayed_steps`` must drop
+by at least 2x for DFS on the bounded buffer.  Wall times are reported
+alongside for context but never asserted — pure-Python deepcopy costs
+vary too much across machines to gate on.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.bench.experiments import hotpath_replay
+from repro.bench.tables import format_table
+from repro.workloads.boundedbuffer import bounded_buffer_program
+from repro.workloads.wsq import work_stealing_queue
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_hotpath_replay(benchmark, report, scale):
+    def sweep():
+        entries = [
+            hotpath_replay(
+                lambda: bounded_buffer_program(items=2, consumers=2),
+                depth_bound=200, preemption_bound=2,
+                snapshot_interval=4, max_executions=250,
+            ),
+        ]
+        if scale == "full":
+            entries.append(hotpath_replay(
+                lambda: work_stealing_queue(items=1, stealers=1),
+                depth_bound=200, preemption_bound=2,
+                snapshot_interval=4, max_executions=500,
+            ))
+        return entries
+
+    entries = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    payload = {
+        "bench": "hotpath_replay",
+        "scale": scale,
+        "cpu_count": os.cpu_count(),
+        "entries": entries,
+    }
+    bench_path = REPO_ROOT / "BENCH_hotpath.json"
+    bench_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = []
+    for entry in entries:
+        for run in entry["runs"]:
+            rows.append([
+                entry["program"],
+                "on" if run["snapshot_cache"] else "off",
+                f"{run['seconds']:.2f}",
+                run["replayed_steps"],
+                run["restored_steps"],
+                run["snapshot_hits"],
+            ])
+        rows.append([entry["program"], "reduction",
+                     f"{entry['replayed_reduction']}x", "", "", ""])
+    report("hotpath_replay", format_table(
+        ["program", "cache", "seconds", "replayed", "restored", "hits"],
+        rows,
+        title="Prefix replay cost — snapshot cache off vs on "
+              "(identical totals enforced)",
+    ))
+
+    gated = entries[0]
+    assert gated["replayed_reduction"] >= 2.0, (
+        f"{gated['program']}: replayed-steps reduction "
+        f"{gated['replayed_reduction']}x < 2x with the snapshot cache"
+    )

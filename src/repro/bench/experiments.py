@@ -325,6 +325,96 @@ def parallel_speedup(
 
 
 # ----------------------------------------------------------------------
+# Hot path: prefix replay cost with and without the snapshot cache
+# ----------------------------------------------------------------------
+
+
+def hotpath_replay(
+    program_factory: Callable[[], Program],
+    *,
+    strategy: str = "dfs",
+    depth_bound: int = 200,
+    preemption_bound: Optional[int] = 2,
+    snapshot_interval: int = 4,
+    max_executions: int = 250,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Dict[str, object]:
+    """One program's counted sweep with the snapshot cache off, then on
+    (docs/performance.md).
+
+    Both runs must agree on verdict, executions and transitions — the
+    cache is a pure optimization, so a mismatch raises instead of being
+    reported as a (meaningless) timing.  The interesting number is
+    ``executions.replayed_steps``: prefix transitions re-executed through
+    the full scheduling loop.  With the cache on, transitions carried by
+    ``fast_forward`` land in ``executions.restored_steps`` instead, and
+    the replayed total drops.  Returns a JSON-ready dict with both runs'
+    counters and the replayed-steps reduction ratio.
+    """
+    from repro.checker import Checker
+    from repro.obs import Observer
+
+    registry = _registry(metrics)
+    baseline: Optional[Dict[str, object]] = None
+    runs: List[Dict[str, object]] = []
+    for cached in (False, True):
+        observer = Observer()
+        label = "cache-on" if cached else "cache-off"
+        with registry.timer(f"hotpath.{label}") as timer:
+            result = Checker(
+                program_factory(),
+                strategy=strategy,
+                depth_bound=depth_bound,
+                preemption_bound=preemption_bound,
+                max_executions=max_executions,
+                snapshot_cache=cached,
+                snapshot_interval=snapshot_interval,
+                stop_on_first_violation=False,
+                stop_on_first_divergence=False,
+                handle_signals=False,
+                observer=observer,
+            ).run()
+        _record_search(registry, result.exploration)
+        counters = observer.metrics
+        run = {
+            "snapshot_cache": cached,
+            "seconds": round(timer.seconds, 3),
+            "ok": result.ok,
+            "executions": result.exploration.executions,
+            "transitions": result.exploration.transitions,
+            "replayed_steps":
+                counters.counter("executions.replayed_steps").value,
+            "restored_steps":
+                counters.counter("executions.restored_steps").value,
+            "snapshot_hits": counters.counter("snapshot.hits").value,
+            "snapshot_misses": counters.counter("snapshot.misses").value,
+        }
+        if baseline is None:
+            baseline = run
+        else:
+            for key in ("ok", "executions", "transitions"):
+                if run[key] != baseline[key]:
+                    raise AssertionError(
+                        f"snapshot cache changed the search on {key}: "
+                        f"{run[key]!r} != {baseline[key]!r}"
+                    )
+        runs.append(run)
+    replayed_off = int(baseline["replayed_steps"])
+    replayed_on = int(runs[-1]["replayed_steps"])
+    reduction = (float(replayed_off) / replayed_on
+                 if replayed_on else float(replayed_off or 1))
+    return {
+        "program": program_factory().name,
+        "strategy": strategy,
+        "depth_bound": depth_bound,
+        "preemption_bound": preemption_bound,
+        "snapshot_interval": snapshot_interval,
+        "runs": runs,
+        "replayed_reduction": round(reduction, 2),
+    }
+
+
+# ----------------------------------------------------------------------
 # Table 3: executions and time to the first bug
 # ----------------------------------------------------------------------
 

@@ -179,6 +179,9 @@ class Checker:
         handle_signals: bool = True,
         workers: int = 1,
         shard_target: Optional[int] = None,
+        snapshot_cache: bool = False,
+        snapshot_interval: int = 16,
+        snapshot_memory_mb: int = 64,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -217,6 +220,9 @@ class Checker:
             seed=seed,
             execution_budget_seconds=execution_budget_seconds,
             capture_crashes=self.resilience_options.capture_crashes,
+            snapshot_cache=snapshot_cache,
+            snapshot_interval=snapshot_interval,
+            snapshot_memory_mb=snapshot_memory_mb,
         )
         self.limits = ExplorationLimits(
             max_executions=max_executions,
@@ -264,7 +270,7 @@ class Checker:
                 self.program, self.policy_factory,
                 depth_bound=self.config.depth_bound, limits=self.limits,
                 coverage=self.coverage, observer=self.observer,
-                resilience=resilience,
+                resilience=resilience, config=self.config,
             )
         raise ValueError(
             f"unknown strategy {self.strategy!r} "

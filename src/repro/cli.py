@@ -164,6 +164,22 @@ def _add_checker_options(parser: argparse.ArgumentParser) -> None:
     resilience.add_argument("--quarantine-dir", metavar="DIR",
                             help="save each quarantined crash's schedule as "
                                  "a repro file in DIR")
+    performance = parser.add_argument_group(
+        "performance", "exploration hot-path tuning (docs/performance.md)")
+    performance.add_argument("--snapshot-cache", action="store_true",
+                             help="cache prefix snapshots so guided "
+                                  "executions skip re-executing shared "
+                                  "prefixes (VM programs only; native "
+                                  "programs fall back to full replay)")
+    performance.add_argument("--snapshot-interval", type=int, default=16,
+                             metavar="N",
+                             help="snapshot every N transitions along an "
+                                  "execution (smaller = less re-execution, "
+                                  "more memory)")
+    performance.add_argument("--snapshot-memory-mb", type=int, default=64,
+                             metavar="MB",
+                             help="memory budget for the snapshot cache "
+                                  "(LRU eviction past it)")
     parallel = parser.add_argument_group(
         "parallel", "sharded multi-process search (docs/parallel.md)")
     parallel.add_argument("--workers", type=int, default=1, metavar="N",
@@ -211,6 +227,9 @@ def _make_checker(program: Program, options: argparse.Namespace) -> Checker:
         quarantine_dir=options.quarantine_dir,
         workers=options.workers,
         shard_target=options.shards,
+        snapshot_cache=options.snapshot_cache,
+        snapshot_interval=options.snapshot_interval,
+        snapshot_memory_mb=options.snapshot_memory_mb,
     )
 
 

@@ -11,9 +11,12 @@ recorded trace suffix:
 * every thread that was enabled in the suffix was also scheduled and the
   scheduled threads keep yielding ⇒ a **fair** infinite execution, i.e. a
   **livelock** (Figure 1's philosophers, Figure 8's stale-read spin);
-* some enabled thread is starved in the suffix ⇒ **unfair divergence** —
-  impossible under the fair policy by Theorem 1, and evidence of wasted
-  work when it shows up in unfair baseline runs.
+* some thread that is still enabled at the end of the suffix was never
+  scheduled in it ⇒ **unfair divergence** — impossible under the fair
+  policy by Theorem 1, and evidence of wasted work when it shows up in
+  unfair baseline runs.  (A thread that was enabled early in the suffix
+  but blocked or finished before its end was not starved — it left the
+  race on its own.)
 """
 
 from __future__ import annotations
@@ -97,9 +100,18 @@ def _classify(
             ),
         )
 
+    # Starvation requires the thread to *still* be enabled near the end of
+    # the window: a thread that was enabled early on and then blocked (or
+    # finished) was not starved by the scheduler — it left the race.  Only
+    # threads enabled in the trailing quarter of the window and never
+    # scheduled anywhere in it count as starved.
+    tail_start = max(0, len(steps) - max(1, len(steps) // 4))
+    enabled_in_tail: Set = set()
+    for step in steps[tail_start:]:
+        enabled_in_tail.update(step.enabled_before)
     starved = sorted(
         str(names.get(tid, tid))
-        for tid in enabled_somewhere
+        for tid in enabled_in_tail
         if scheduled[tid] == 0
     )
     if starved:

@@ -17,6 +17,7 @@ is a switch after a voluntary yield.
 
 from __future__ import annotations
 
+import copy
 import random
 from collections import deque
 from dataclasses import dataclass, field
@@ -35,6 +36,7 @@ from repro.engine.results import (
     Outcome,
     TraceStep,
 )
+from repro.engine.snapshots import PrefixSnapshot, PrefixSnapshotCache
 from repro.runtime.errors import ExecutionHung, PropertyViolation, TaskCrash
 
 
@@ -89,6 +91,15 @@ class GuidedChooser(Chooser):
     def __init__(self, guide: Sequence[int] = ()) -> None:
         self._guide = list(guide)
         self._cursor = 0
+
+    @property
+    def guide(self) -> Sequence[int]:
+        """The recorded guide (read by the prefix-snapshot cache)."""
+        return tuple(self._guide)
+
+    def skip(self, count: int) -> None:
+        """Advance past ``count`` decisions restored from a snapshot."""
+        self._cursor += count
 
     def pick(self, kind: str, options: int) -> int:
         if self._cursor < len(self._guide):
@@ -160,6 +171,16 @@ class ExecutorConfig:
     #: records instead of letting them propagate.  Off by default: legacy
     #: behavior treats a task crash as a property violation.
     capture_crashes: bool = False
+    #: Enable the prefix-snapshot cache (docs/performance.md).  Only
+    #: effective for programs that declare ``supports_snapshot`` (the VM
+    #: runtime); the native runtime transparently falls back to full
+    #: replay.  Off by default.
+    snapshot_cache: bool = False
+    #: Snapshot every N transitions along an execution.  Smaller = less
+    #: prefix re-execution, more capture overhead and memory.
+    snapshot_interval: int = 16
+    #: Memory budget for the snapshot cache, in MiB (LRU eviction).
+    snapshot_memory_mb: int = 64
 
 
 def _sorted_options(values) -> list:
@@ -167,6 +188,65 @@ def _sorted_options(values) -> list:
         return sorted(values)
     except TypeError:
         return sorted(values, key=repr)
+
+
+def _setup_instance(program: Program, config: ExecutorConfig, observer):
+    """Instantiate the program with the per-instance executor plumbing."""
+    instance = program.instantiate()
+    if config.execution_budget_seconds is not None and hasattr(
+            instance, "step_timeout"):
+        # Native runtimes also time out individual blocked steps, so a
+        # thread hung in a blocking operation cannot stall the search
+        # past roughly twice the budget.
+        instance.step_timeout = config.execution_budget_seconds
+    if observer is not None and hasattr(instance, "observer"):
+        instance.observer = observer
+    return instance
+
+
+def _restore_prefix(
+    cache: PrefixSnapshotCache,
+    chooser: Chooser,
+    program: Program,
+    instance: ProgramInstance,
+    config: ExecutorConfig,
+    coverage: Optional[CoverageTracker],
+    observer,
+    timers,
+):
+    """Fast-forward ``instance`` through the deepest cached prefix of the
+    chooser's guide.  Returns ``(instance, snapshot-or-None)``; any
+    failure falls back to a fresh instance and full replay."""
+    guide = getattr(chooser, "guide", None)
+    skip = getattr(chooser, "skip", None)
+    forward = getattr(instance, "fast_forward", None)
+    if guide is None or skip is None or forward is None:
+        return instance, None
+    t0 = perf_counter() if timers is not None else 0.0
+    entry = cache.lookup(guide, need_signatures=coverage is not None)
+    if entry is not None:
+        def per_step(live) -> None:
+            for monitor in config.monitors:
+                monitor(live)
+
+        try:
+            forward(entry.decisions, per_step=per_step)
+        except Exception:  # noqa: BLE001 - determinism-contract guard
+            # The prefix did not replay cleanly, so the program broke the
+            # determinism contract; trust nothing cached and fall back to
+            # a fresh instance and a full replay.
+            cache.clear(failure=True)
+            closer = getattr(instance, "close", None)
+            if closer is not None:
+                closer()
+            instance = _setup_instance(program, config, observer)
+            entry = None
+    if timers is not None:
+        timers.add("snapshot", perf_counter() - t0)
+    if observer is not None:
+        observer.snapshot_lookup(entry is not None,
+                                 entry.steps if entry is not None else 0)
+    return instance, entry
 
 
 def run_execution(
@@ -179,34 +259,72 @@ def run_execution(
     pruner: Optional[Pruner] = None,
     completion_rng: Optional[random.Random] = None,
     observer=None,
+    snapshot_cache: Optional[PrefixSnapshotCache] = None,
 ) -> ExecutionResult:
     """Execute the program once under ``policy``, steering with ``chooser``.
 
     ``observer`` is an optional :class:`repro.obs.observer.Observer`; when
     None (the default) the loop takes only dead branches — no telemetry
     objects are touched on the hot path.
+
+    ``snapshot_cache`` is an optional
+    :class:`~repro.engine.snapshots.PrefixSnapshotCache` owned by the
+    calling strategy: when the chooser carries a guide, the execution
+    starts from the deepest cached snapshot whose decision prefix matches
+    it (instead of re-executing from step 0) and stores new snapshots
+    every ``cache.interval`` transitions.  Cached and uncached runs
+    produce identical results; a pruner disables the cache because prefix
+    restoration would skip its per-state consultations.
     """
-    instance = program.instantiate()
+    if pruner is not None:
+        snapshot_cache = None
+    instance = _setup_instance(program, config, observer)
     deadline: Optional[float] = None
     if config.execution_budget_seconds is not None:
         deadline = perf_counter() + config.execution_budget_seconds
-        if hasattr(instance, "step_timeout"):
-            # Native runtimes also time out individual blocked steps, so a
-            # thread hung in a blocking operation cannot stall the search
-            # past roughly twice the budget.
-            instance.step_timeout = config.execution_budget_seconds
-    if observer is not None and hasattr(instance, "observer"):
-        instance.observer = observer
-    for tid in _sorted_options(instance.thread_ids()):
-        policy.register_thread(tid)
+    timers = observer.timers if observer is not None else None
 
-    decisions: List[Decision] = []
-    trace: deque = deque(maxlen=config.trace_window)
-    steps = 0
-    preemptions = 0
-    yields = 0
-    last_tid: object = None
-    last_was_yield = False
+    restored: Optional[PrefixSnapshot] = None
+    if snapshot_cache is not None:
+        instance, restored = _restore_prefix(
+            snapshot_cache, chooser, program, instance, config, coverage,
+            observer, timers)
+
+    if restored is not None:
+        # Resume the engine where the snapshot left off: the policy copy
+        # already saw every prefix step (register_thread included), the
+        # chooser cursor jumps past the restored decisions, and the
+        # coverage tracker replays the prefix's recorded signatures so
+        # totals match a full replay exactly.
+        policy = copy.deepcopy(restored.policy)
+        chooser.skip(len(restored.decisions))
+        decisions: List[Decision] = list(restored.decisions)
+        trace: deque = deque(restored.trace, maxlen=config.trace_window)
+        steps = restored.steps
+        preemptions = restored.preemptions
+        yields = restored.yields
+        last_tid: object = restored.last_tid
+        last_was_yield = restored.last_was_yield
+        if coverage is not None and restored.signatures:
+            t0 = perf_counter() if timers is not None else 0.0
+            for signature in restored.signatures:
+                coverage.record(signature)
+            if timers is not None:
+                timers.add("snapshot", perf_counter() - t0)
+    else:
+        for tid in _sorted_options(instance.thread_ids()):
+            policy.register_thread(tid)
+        decisions = []
+        trace = deque(maxlen=config.trace_window)
+        steps = 0
+        preemptions = 0
+        yields = 0
+        last_tid = None
+        last_was_yield = False
+
+    track_signatures = snapshot_cache is not None and coverage is not None
+    prefix_signatures: List = (list(restored.signatures or ())
+                               if restored is not None else [])
     hit_depth_bound = False
     completing_randomly = False
     completion_chooser: Optional[Chooser] = None
@@ -215,7 +333,6 @@ def run_execution(
     abort_reason: Optional[str] = None
     outcome = Outcome.TERMINATED
     divergence = None
-    timers = observer.timers if observer is not None else None
     algo_state = (getattr(policy, "algorithm_state", None)
                   if observer is not None else None)
     if observer is not None:
@@ -266,13 +383,37 @@ def run_execution(
             if observer is not None:
                 observer.execution_aborted(steps, abort_reason)
             break
+        if (snapshot_cache is not None and not completing_randomly
+                and steps > 0 and steps % snapshot_cache.interval == 0):
+            # Capture BEFORE recording this state's coverage signature:
+            # the stored signatures then cover states 0..steps-1, and the
+            # resumed loop records state ``steps`` itself — totals match a
+            # full replay exactly.
+            t0 = perf_counter() if timers is not None else 0.0
+            snapshot_cache.capture(
+                decisions=decisions,
+                steps=steps,
+                policy=policy,
+                preemptions=preemptions,
+                yields=yields,
+                last_tid=last_tid,
+                last_was_yield=last_was_yield,
+                trace=trace,
+                signatures=(prefix_signatures if track_signatures else None),
+            )
+            if timers is not None:
+                timers.add("snapshot", perf_counter() - t0)
         if coverage is not None:
             if timers is not None:
                 t0 = perf_counter()
-                coverage.record(instance.state_signature())
+                signature = instance.state_signature()
+                coverage.record(signature)
                 timers.add("hash", perf_counter() - t0)
             else:
-                coverage.record(instance.state_signature())
+                signature = instance.state_signature()
+                coverage.record(signature)
+            if track_signatures and not completing_randomly:
+                prefix_signatures.append(signature)
         if pruner is not None and pruner(
             instance,
             PrunePoint(
@@ -317,7 +458,14 @@ def run_execution(
                 break
             if config.on_depth_exceeded == "random-completion":
                 completing_randomly = True
-                rng = completion_rng or random.Random(config.seed)
+                rng = completion_rng
+                if rng is None:
+                    # Derive the fallback from the recorded decision
+                    # prefix: a bare Random(config.seed) here would hand
+                    # every execution the *same* completion schedule,
+                    # correlating the random tails across the search.
+                    prefix = ",".join(str(d.index) for d in decisions)
+                    rng = random.Random(f"{config.seed}|{prefix}")
                 completion_chooser = RandomChooser(rng)
             else:
                 raise ValueError(
@@ -397,6 +545,9 @@ def run_execution(
             abort_reason = str(exc)
             trace.append(TraceStep(tid, thread_name(tid), f"⌛ {exc}", False,
                                    enabled))
+            # The faulting transition counts, same as every other terminal
+            # path: the thread was scheduled and (partially) executed.
+            steps += 1
             if timers is not None:
                 timers.add("execute", perf_counter() - t0)
             if observer is not None:
@@ -480,5 +631,16 @@ def run_execution(
     if config.keep_instance:
         result.final_instance = instance
     if observer is not None:
+        guide = getattr(chooser, "guide", None)
+        if guide:
+            # Prefix transitions re-executed through the full engine loop
+            # (the hot-path cost the snapshot cache attacks); tracked even
+            # with the cache off so benchmarks can report the reduction.
+            limit = min(len(guide), len(decisions))
+            replayed = sum(
+                1 for d in decisions[:limit] if d.kind == "thread")
+            if restored is not None:
+                replayed -= restored.steps
+            observer.prefix_replayed(max(0, replayed))
         observer.execution_finished(result, yields=yields)
     return result

@@ -1,0 +1,276 @@
+"""Prefix-snapshot caching for the exploration hot path.
+
+Stateless search pays for its statelessness on every backtrack: the next
+execution shares a long decision prefix with the previous one, and the
+engine re-executes that prefix from step 0 just to get back to the
+frontier.  For the deterministic VM runtime that replay is pure overhead —
+the prefix state is a function of the decision sequence alone — so the
+engine can *snapshot* its bookkeeping at decision-depth intervals and
+later fast-forward a fresh instance through the recorded prefix without
+paying for the policy computation, chooser, trace recording, coverage
+hashing or observer hooks of the full loop.
+
+A :class:`PrefixSnapshot` is a **replay-log snapshot**: it does not
+capture Python generator frames (CPython cannot copy them, and thread
+bodies close over shared objects), it captures everything *around* the
+program instance — the recorded :class:`~repro.engine.results.Decision`
+prefix, a deep copy of the scheduling policy, the executor's counters and
+trace tail, and (when coverage is on) the prefix's state signatures.
+Restoring one instantiates the program afresh and drives it through the
+recorded transitions with :meth:`~repro.runtime.vm.VirtualMachine.\
+fast_forward`, which skips every engine-side cost of the prefix.  The
+result is bit-for-bit identical to a full replay: same decisions, same
+coverage totals, same policy state, same trace tail.
+
+Applicability is gated by the ``supports_snapshot`` capability flag on
+the program (True for :class:`~repro.runtime.program.VMProgram`, False
+for the native thread runtime, which transparently falls back to full
+replay because OS thread state cannot be reconstructed this way).
+
+The cache is bounded two ways: LRU order with a memory budget (entry
+sizes are estimated, not measured), and — for strategies that visit
+guides in lexicographic order (DFS, sleep-set POR, each ICB sweep) —
+eager invalidation of entries that can never match a future guide
+(:meth:`PrefixSnapshotCache.invalidate_not_prefix_of`).  See
+``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.engine.results import Decision, TraceStep
+
+#: Rough per-item cost estimates (bytes) for the memory budget.  These
+#: deliberately overestimate: the budget is a safety rail, not an
+#: accounting system.
+_DECISION_BYTES = 120
+_TRACE_STEP_BYTES = 400
+_SIGNATURE_BYTES = 120
+_BASE_BYTES = 2048  # entry + deep-copied policy state
+
+
+@dataclass
+class PrefixSnapshot:
+    """Engine state at one prefix of one execution (see module docstring)."""
+
+    #: The decision-index prefix this snapshot belongs to (the cache key).
+    key: Tuple[int, ...]
+    #: The recorded decisions, verbatim — replayed into the resumed
+    #: execution's decision list so cached and uncached runs report
+    #: identical decision sequences.
+    decisions: Tuple[Decision, ...]
+    #: Transitions executed in the prefix.
+    steps: int
+    #: Deep copy of the scheduling policy at the snapshot point (plain
+    #: data for every built-in policy, so this is cheap and exact).
+    policy: object
+    preemptions: int = 0
+    yields: int = 0
+    last_tid: object = None
+    last_was_yield: bool = False
+    #: Trace tail (already bounded by the executor's trace window).
+    trace: Tuple[TraceStep, ...] = ()
+    #: State signatures of the prefix states (only recorded when coverage
+    #: tracking is on; replayed into the tracker on restore so coverage
+    #: totals cannot drift).
+    signatures: Optional[Tuple[object, ...]] = None
+    #: Strategy-specific extras (the sleep-set POR loop stores its sleep
+    #: set here).
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def estimated_bytes(self) -> int:
+        total = _BASE_BYTES
+        total += _DECISION_BYTES * len(self.decisions)
+        total += _TRACE_STEP_BYTES * len(self.trace)
+        if self.signatures is not None:
+            total += _SIGNATURE_BYTES * len(self.signatures)
+        return total
+
+
+class PrefixSnapshotCache:
+    """LRU cache of :class:`PrefixSnapshot` entries, keyed by prefix.
+
+    One cache belongs to one strategy (or one ICB sweep, or one parallel
+    shard) — entries are only valid under the exact executor
+    configuration they were captured with, so caches are never shared
+    across configurations.
+    """
+
+    def __init__(
+        self,
+        interval: int = 16,
+        *,
+        memory_budget_bytes: int = 64 << 20,
+        observer=None,
+    ) -> None:
+        if interval < 1:
+            raise ValueError("snapshot interval must be positive")
+        self.interval = interval
+        self.memory_budget_bytes = memory_budget_bytes
+        self._observer = observer
+        self._entries: "OrderedDict[Tuple[int, ...], PrefixSnapshot]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.stored = 0
+        self.evictions = 0
+        self.failures = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config, program,
+                    observer=None) -> Optional["PrefixSnapshotCache"]:
+        """Build a cache for one strategy, or None when inapplicable.
+
+        Returns None unless the config asks for snapshotting *and* the
+        program declares the ``supports_snapshot`` capability (the native
+        thread runtime does not — it silently falls back to full replay,
+        as documented).
+        """
+        if config is None or not getattr(config, "snapshot_cache", False):
+            return None
+        if not getattr(program, "supports_snapshot", False):
+            return None
+        return cls(
+            interval=getattr(config, "snapshot_interval", 16),
+            memory_budget_bytes=(
+                getattr(config, "snapshot_memory_mb", 64) << 20),
+            observer=observer,
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def estimated_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "estimated_bytes": self._bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stored": self.stored,
+            "evictions": self.evictions,
+            "failures": self.failures,
+        }
+
+    # ------------------------------------------------------------------
+    def lookup(self, guide: Sequence[int], *,
+               need_signatures: bool = False) -> Optional[PrefixSnapshot]:
+        """The deepest snapshot whose key is a prefix of ``guide``.
+
+        ``need_signatures`` restricts the match to entries that recorded
+        coverage signatures (a coverage-tracking run cannot restore from
+        an entry captured without them — the totals would drift).
+        """
+        guide = tuple(guide)
+        best: Optional[PrefixSnapshot] = None
+        for key, entry in self._entries.items():
+            if len(key) > len(guide) or key != guide[:len(key)]:
+                continue
+            if need_signatures and entry.signatures is None:
+                continue
+            if best is None or len(key) > len(best.key):
+                best = entry
+        if best is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(best.key)
+        return best
+
+    def capture(
+        self,
+        *,
+        decisions: Sequence[Decision],
+        steps: int,
+        policy: object,
+        preemptions: int = 0,
+        yields: int = 0,
+        last_tid: object = None,
+        last_was_yield: bool = False,
+        trace: Sequence[TraceStep] = (),
+        signatures: Optional[Sequence[object]] = None,
+        extras: Optional[Dict[str, object]] = None,
+    ) -> bool:
+        """Store a snapshot of the current executor state; returns True
+        when a new entry was created (False: the key was already cached,
+        which only refreshes its LRU position — no policy copy is made).
+        """
+        key = tuple(d.index for d in decisions)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return False
+        snapshot = PrefixSnapshot(
+            key=key,
+            decisions=tuple(decisions),
+            steps=steps,
+            policy=copy.deepcopy(policy),
+            preemptions=preemptions,
+            yields=yields,
+            last_tid=last_tid,
+            last_was_yield=last_was_yield,
+            trace=tuple(trace),
+            signatures=(tuple(signatures) if signatures is not None
+                        else None),
+            extras=dict(extras or {}),
+        )
+        self._entries[key] = snapshot
+        self._bytes += snapshot.estimated_bytes()
+        self.stored += 1
+        if self._observer is not None:
+            self._observer.snapshot_stored(len(self._entries), self._bytes)
+        self._evict_over_budget()
+        return True
+
+    def _evict_over_budget(self) -> None:
+        evicted = 0
+        while self._bytes > self.memory_budget_bytes and len(self._entries) > 1:
+            _, entry = self._entries.popitem(last=False)
+            self._bytes -= entry.estimated_bytes()
+            evicted += 1
+        if evicted:
+            self.evictions += evicted
+            if self._observer is not None:
+                self._observer.snapshot_evicted(evicted)
+
+    # ------------------------------------------------------------------
+    def invalidate_not_prefix_of(self, guide: Sequence[int]) -> int:
+        """Drop every entry whose key is not a prefix of ``guide``.
+
+        Sound *and* complete for strategies that visit guides in
+        lexicographic order (DFS, POR, each ICB sweep): after
+        backtracking to ``guide``, every future execution's decision
+        sequence starts with ``guide``, and all cached keys come from
+        lexicographically earlier executions — an entry that diverges
+        from ``guide`` diverges downward and can never match again.
+        """
+        guide = tuple(guide)
+        dead = [
+            key for key in self._entries
+            if key[:len(guide)] != guide[:len(key)]
+        ]
+        for key in dead:
+            self._bytes -= self._entries.pop(key).estimated_bytes()
+        if dead:
+            self.evictions += len(dead)
+            if self._observer is not None:
+                self._observer.snapshot_evicted(len(dead))
+        return len(dead)
+
+    def clear(self, *, failure: bool = False) -> None:
+        """Drop everything (end of a subtree, or a failed fast-forward —
+        the latter means the program broke the determinism contract, so
+        no cached prefix can be trusted)."""
+        if failure:
+            self.failures += 1
+        self._entries.clear()
+        self._bytes = 0

@@ -21,6 +21,7 @@ from repro.core.policies import PolicyFactory
 from repro.engine.coverage import CoverageTracker
 from repro.engine.executor import ExecutorConfig, GuidedChooser, run_execution
 from repro.engine.results import ExecutionResult, ExplorationResult
+from repro.engine.snapshots import PrefixSnapshotCache
 from repro.engine.strategies.base import ExplorationLimits, SearchStrategy
 
 
@@ -64,6 +65,11 @@ class BfsStrategy(SearchStrategy):
         # queue can never leave the subtree because children only extend
         # their parent's guide.
         self.queue: deque = deque([list(prefix or [])])
+        #: Prefix-snapshot cache.  BFS revisits prefixes level by level
+        #: with no lexicographic order, so there is no sound eager
+        #: invalidation — the LRU memory budget is the only bound.
+        self.snapshot_cache = PrefixSnapshotCache.from_config(
+            self.config, program, observer=observer)
 
     # ------------------------------------------------------------------
     def _has_work(self) -> bool:
@@ -77,6 +83,7 @@ class BfsStrategy(SearchStrategy):
             self.config,
             coverage=self.coverage,
             observer=self.observer,
+            snapshot_cache=self.snapshot_cache,
         )
 
     def _advance(self, record: ExecutionResult) -> None:

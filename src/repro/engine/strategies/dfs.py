@@ -34,6 +34,7 @@ from repro.engine.executor import (
     run_execution,
 )
 from repro.engine.results import ExecutionResult, ExplorationResult
+from repro.engine.snapshots import PrefixSnapshotCache
 from repro.engine.strategies.base import (
     ExplorationLimits,
     SearchStrategy,
@@ -78,6 +79,11 @@ class DfsStrategy(SearchStrategy):
         self.prefix: List[int] = list(prefix or [])
         self.guide: Optional[List[int]] = list(self.prefix)
         self.completion_rng = random.Random(self.config.seed)
+        #: Prefix-snapshot cache (None unless enabled and the program
+        #: supports it); DFS visits guides in lexicographic order, so
+        #: stale entries are invalidated eagerly on every backtrack.
+        self.snapshot_cache = PrefixSnapshotCache.from_config(
+            self.config, program, observer=observer)
 
     def strategy_label(self) -> str:
         return self._label
@@ -96,6 +102,7 @@ class DfsStrategy(SearchStrategy):
             pruner=self.pruner,
             completion_rng=self.completion_rng,
             observer=self.observer,
+            snapshot_cache=self.snapshot_cache,
         )
 
     def _advance(self, record: ExecutionResult) -> None:
@@ -105,6 +112,13 @@ class DfsStrategy(SearchStrategy):
             # exhausted (every longer guide shares the prefix, because a
             # guided replay fixes those decisions).
             self.guide = None
+        if self.snapshot_cache is not None:
+            if self.guide is None:
+                self.snapshot_cache.clear()
+            else:
+                # Lexicographic order makes this complete: a cached prefix
+                # that diverges from the next guide can never match again.
+                self.snapshot_cache.invalidate_not_prefix_of(self.guide)
 
     def _announce(self) -> None:
         if self.observer is not None and self.guide is not None:

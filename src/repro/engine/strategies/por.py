@@ -28,13 +28,16 @@ chosen index ``k``, the already-explored siblings are exactly
 
 from __future__ import annotations
 
+import copy
 import time
 from typing import Callable, List, Optional, Set
 
 from repro.core.model import Program, RunStatus
 from repro.core.policies import PolicyFactory
 from repro.engine.coverage import CoverageTracker
+from repro.engine.executor import ExecutorConfig
 from repro.engine.results import Decision, ExecutionResult, ExplorationResult, Outcome, TraceStep
+from repro.engine.snapshots import PrefixSnapshotCache
 from repro.engine.strategies.base import (
     ExplorationLimits,
     SearchStrategy,
@@ -76,32 +79,92 @@ def _run_once_with_sleep(
     depth_bound: Optional[int],
     coverage: Optional[CoverageTracker],
     observer=None,
+    snapshot_cache: Optional[PrefixSnapshotCache] = None,
 ) -> ExecutionResult:
     """One execution with sleep sets carried along the path."""
     instance = program.instantiate()
-    for tid in _sorted(instance.thread_ids()):
-        policy.register_thread(tid)
+    timers = observer.timers if observer is not None else None
 
-    decisions: List[Decision] = []
-    trace: List[TraceStep] = []
-    sleep: Set = set()
-    cursor = 0
-    steps = 0
-    yields = 0
+    # Prefix-snapshot restore (docs/performance.md): the sleep set at the
+    # snapshot point rides along in the entry's extras, and the restored
+    # fast-forward skips local monitors because this loop never runs them.
+    restored = None
+    if snapshot_cache is not None and hasattr(instance, "fast_forward"):
+        t0 = time.perf_counter() if timers is not None else 0.0
+        restored = snapshot_cache.lookup(
+            guide, need_signatures=coverage is not None)
+        if restored is not None:
+            try:
+                instance.fast_forward(restored.decisions, run_monitors=False)
+            except Exception:  # noqa: BLE001 - determinism-contract guard
+                snapshot_cache.clear(failure=True)
+                closer = getattr(instance, "close", None)
+                if closer is not None:
+                    closer()
+                instance = program.instantiate()
+                restored = None
+        if timers is not None:
+            timers.add("snapshot", time.perf_counter() - t0)
+        if observer is not None:
+            observer.snapshot_lookup(
+                restored is not None,
+                restored.steps if restored is not None else 0)
+
+    if restored is not None:
+        policy = copy.deepcopy(restored.policy)
+        decisions: List[Decision] = list(restored.decisions)
+        trace: List[TraceStep] = list(restored.trace)
+        sleep: Set = set(restored.extras.get("sleep", ()))
+        cursor = len(restored.decisions)
+        steps = restored.steps
+        yields = restored.yields
+        if coverage is not None and restored.signatures:
+            for signature in restored.signatures:
+                coverage.record(signature)
+    else:
+        for tid in _sorted(instance.thread_ids()):
+            policy.register_thread(tid)
+        decisions = []
+        trace = []
+        sleep = set()
+        cursor = 0
+        steps = 0
+        yields = 0
+
+    track_signatures = snapshot_cache is not None and coverage is not None
+    prefix_signatures: List = (list(restored.signatures or ())
+                               if restored is not None else [])
     violation = None
     outcome = Outcome.TERMINATED
-    timers = observer.timers if observer is not None else None
     if observer is not None:
         observer.execution_started()
 
     while True:
+        if (snapshot_cache is not None and steps > 0
+                and steps % snapshot_cache.interval == 0):
+            t0 = time.perf_counter() if timers is not None else 0.0
+            snapshot_cache.capture(
+                decisions=decisions,
+                steps=steps,
+                policy=policy,
+                yields=yields,
+                trace=trace[-256:],
+                signatures=(prefix_signatures if track_signatures else None),
+                extras={"sleep": frozenset(sleep)},
+            )
+            if timers is not None:
+                timers.add("snapshot", time.perf_counter() - t0)
         if coverage is not None:
             if timers is not None:
                 t0 = time.perf_counter()
-                coverage.record(instance.state_signature())
+                signature = instance.state_signature()
+                coverage.record(signature)
                 timers.add("hash", time.perf_counter() - t0)
             else:
-                coverage.record(instance.state_signature())
+                signature = instance.state_signature()
+                coverage.record(signature)
+            if track_signatures:
+                prefix_signatures.append(signature)
         enabled = instance.enabled_threads()
         if not enabled:
             outcome = (Outcome.TERMINATED
@@ -178,6 +241,10 @@ def _run_once_with_sleep(
         trace=tuple(trace[-256:]),
     )
     if observer is not None:
+        if guide:
+            limit = min(len(guide), len(decisions))
+            replayed = limit - (restored.steps if restored is not None else 0)
+            observer.prefix_replayed(max(0, replayed))
         observer.execution_finished(result, yields=yields)
     return result
 
@@ -204,11 +271,12 @@ class SleepSetStrategy(SearchStrategy):
         listener: Optional[Callable[[ExecutionResult], None]] = None,
         observer=None,
         resilience=None,
+        config: Optional[ExecutorConfig] = None,
     ) -> None:
         super().__init__(
             program,
             policy_factory,
-            None,
+            config,
             limits,
             coverage=coverage,
             listener=listener,
@@ -221,6 +289,10 @@ class SleepSetStrategy(SearchStrategy):
         #: partition of the reduced tree is exact, like plain DFS.
         self.prefix: List[int] = list(prefix or [])
         self.guide: Optional[List[int]] = list(self.prefix)
+        #: Prefix-snapshot cache; the sleep-set walk visits guides in
+        #: lexicographic order, so DFS-style eager invalidation applies.
+        self.snapshot_cache = PrefixSnapshotCache.from_config(
+            config, program, observer=observer)
 
     def strategy_label(self) -> str:
         return "dfs+sleepsets"
@@ -237,12 +309,18 @@ class SleepSetStrategy(SearchStrategy):
             depth_bound=self.depth_bound,
             coverage=self.coverage,
             observer=self.observer,
+            snapshot_cache=self.snapshot_cache,
         )
 
     def _advance(self, record: ExecutionResult) -> None:
         self.guide = next_dfs_guide(record.decisions)
         if self.guide is not None and len(self.guide) <= len(self.prefix):
             self.guide = None
+        if self.snapshot_cache is not None:
+            if self.guide is None:
+                self.snapshot_cache.clear()
+            else:
+                self.snapshot_cache.invalidate_not_prefix_of(self.guide)
 
     def _announce(self) -> None:
         if self.observer is not None and self.guide is not None:
@@ -269,6 +347,7 @@ def explore_dfs_sleepsets(
     listener: Optional[Callable[[ExecutionResult], None]] = None,
     observer=None,
     resilience=None,
+    config: Optional[ExecutorConfig] = None,
 ) -> ExplorationResult:
     """Depth-first search with sleep-set partial-order reduction."""
     return SleepSetStrategy(
@@ -280,4 +359,5 @@ def explore_dfs_sleepsets(
         listener=listener,
         observer=observer,
         resilience=resilience,
+        config=config,
     ).explore()

@@ -14,7 +14,9 @@ Metric names (see ``docs/observability.md`` for the full schema):
   ``divergences``, ``divergence.<kind>``, ``decisions.thread``,
   ``decisions.data``, ``states.new``, ``states.revisited``,
   ``icb.sweeps``, ``crashes``, ``crashes.quarantined``,
-  ``executions.aborted``, ``checkpoints``, ``threads.leaked``;
+  ``executions.aborted``, ``checkpoints``, ``threads.leaked``,
+  ``executions.replayed_steps``, ``executions.restored_steps``,
+  ``snapshot.hits``, ``snapshot.misses``, ``snapshot.evictions``;
 * gauges — ``wall.seconds``, ``rate.executions_per_second``,
   ``rate.transitions_per_second``;
 * histograms — ``schedulable_set_size``, ``enabled_set_size``,
@@ -290,6 +292,32 @@ class Observer:
     def state_hashed(self, fresh: bool) -> None:
         name = "states.new" if fresh else "states.revisited"
         self.metrics.counter(name).inc()
+
+    # ------------------------------------------------------------------
+    # prefix-snapshot cache hooks (called once per execution / capture,
+    # not per transition, so dynamic counter lookups are fine here)
+    # ------------------------------------------------------------------
+    def snapshot_lookup(self, hit: bool, restored_steps: int) -> None:
+        """One cache lookup at the start of a guided execution."""
+        self.metrics.counter("snapshot.hits" if hit
+                             else "snapshot.misses").inc()
+        if restored_steps:
+            self.metrics.counter("executions.restored_steps").inc(
+                restored_steps)
+
+    def snapshot_stored(self, entries: int, estimated_bytes: int) -> None:
+        self.metrics.counter("snapshot.stored").inc()
+        self.metrics.gauge("snapshot.entries").set(entries)
+        self.metrics.gauge("snapshot.estimated_bytes").set(estimated_bytes)
+
+    def snapshot_evicted(self, count: int) -> None:
+        self.metrics.counter("snapshot.evictions").inc(count)
+
+    def prefix_replayed(self, steps: int) -> None:
+        """Prefix transitions re-executed through the full engine loop
+        (the cost the snapshot cache removes; counted even with the cache
+        off so benchmarks can report the reduction)."""
+        self.metrics.counter("executions.replayed_steps").inc(steps)
 
     # ------------------------------------------------------------------
     # reporting

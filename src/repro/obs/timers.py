@@ -1,13 +1,15 @@
 """Phase timers: split exploration wall time into engine phases.
 
-The executor inner loop has five distinguishable costs:
+The executor inner loop has six distinguishable costs:
 
 * ``policy`` — computing the schedulable set ``T`` from ``ES``
   (Algorithm 1's bookkeeping lives here);
 * ``schedule`` — resolving the nondeterministic choice (chooser);
 * ``execute`` — running the chosen transition and its monitors;
 * ``hash`` — state-signature computation for coverage tracking;
-* ``classify`` — divergence classification at the depth bound.
+* ``classify`` — divergence classification at the depth bound;
+* ``snapshot`` — prefix-snapshot capture and restore
+  (docs/performance.md).
 
 Timers use :func:`time.perf_counter` pairs added manually at the call
 sites (a context manager per transition would dominate the measurement);
@@ -21,7 +23,8 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, Tuple
 
 #: Canonical phase order for reports.
-PHASES: Tuple[str, ...] = ("policy", "schedule", "execute", "hash", "classify")
+PHASES: Tuple[str, ...] = ("policy", "schedule", "execute", "hash",
+                           "classify", "snapshot")
 
 
 class PhaseTimers:

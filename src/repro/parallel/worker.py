@@ -78,10 +78,13 @@ def build_shard_strategy(
             coverage=coverage, listener=listener, resilience=resilience,
         )
     if strategy_name == "por":
+        # config rides along so each shard builds its own prefix-snapshot
+        # cache (caches are never shared across processes).
         return SleepSetStrategy(
             program, policy_factory, depth_bound=config.depth_bound,
             limits=limits, prefix=list(shard.prefix),
             coverage=coverage, listener=listener, resilience=resilience,
+            config=config,
         )
     if strategy_name == "random":
         return RandomWalkStrategy(

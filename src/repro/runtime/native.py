@@ -357,6 +357,11 @@ class NativeEnv:
 class NativeProgram(Program):
     """Program factory over real threads."""
 
+    #: Real OS thread state cannot be reconstructed by replaying a
+    #: decision log, so the engine's prefix-snapshot cache never applies
+    #: here — a native program transparently falls back to full replay.
+    supports_snapshot = False
+
     def __init__(self, setup: Callable[[NativeEnv], Any],
                  name: str = "native-program") -> None:
         self._setup = setup

@@ -79,6 +79,11 @@ class ProgramEnv:
 class VMProgram(Program):
     """A replayable multithreaded program defined by a setup function."""
 
+    #: VM executions are a pure function of the decision sequence, so the
+    #: engine's prefix-snapshot cache applies (docs/performance.md).  The
+    #: native thread runtime advertises False and always fully replays.
+    supports_snapshot = True
+
     def __init__(self, setup: Callable[[ProgramEnv], Any],
                  name: str = "program") -> None:
         self._setup = setup

@@ -72,6 +72,29 @@ class TestUnfair:
         assert report.kind is DivergenceKind.UNFAIR
         assert report.window == 0
 
+    def test_thread_disabled_mid_window_not_starved(self):
+        # t is enabled early in the window but blocks (or finishes)
+        # partway through and never re-enables: it left the race on its
+        # own, so blaming the scheduler for starving it is wrong.  The
+        # yielding survivor is a livelock, not an unfair schedule.
+        trace = [step("u", yielded=True, enabled=("t", "u"))
+                 for _ in range(30)]
+        trace += [step("u", yielded=True, enabled=("u",))
+                  for _ in range(70)]
+        report = classify_divergence(trace)
+        assert report.kind is DivergenceKind.LIVELOCK
+
+    def test_thread_starved_through_window_end(self):
+        # Still enabled in the trailing part of the window and never
+        # scheduled anywhere in it: genuinely starved.
+        trace = [step("u", yielded=True, enabled=("u",))
+                 for _ in range(30)]
+        trace += [step("u", yielded=True, enabled=("t", "u"))
+                  for _ in range(70)]
+        report = classify_divergence(trace)
+        assert report.kind is DivergenceKind.UNFAIR
+        assert report.culprits == ("t",)
+
 
 class TestWindowing:
     def test_only_suffix_analyzed(self):

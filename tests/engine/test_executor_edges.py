@@ -11,6 +11,7 @@ from repro.engine.executor import (
 from repro.engine.results import Outcome
 from repro.engine.strategies import explore_bfs, explore_dfs
 from repro.runtime.api import check, pause, yield_now
+from repro.runtime.errors import ExecutionHung, TaskCrash
 from repro.runtime.program import VMProgram
 from repro.sync.atomics import SharedVar
 
@@ -81,6 +82,95 @@ class TestKeepInstance:
         record = run_execution(single_program(), NonfairPolicy(),
                                GuidedChooser([]), ExecutorConfig())
         assert record.final_instance is None
+
+
+class _FaultyInstance:
+    """Minimal ProgramInstance whose second transition raises ``exc``."""
+
+    def __init__(self, exc):
+        self._exc = exc
+        self._stepped = 0
+
+    def thread_ids(self):
+        return frozenset({0})
+
+    def enabled_threads(self):
+        return frozenset({0})
+
+    def step(self, tid):
+        self._stepped += 1
+        if self._stepped >= 2:
+            raise self._exc
+        from repro.core.model import StepInfo
+        return StepInfo(tid=tid, enabled_before=frozenset({0}),
+                        enabled_after=frozenset({0}), yielded=False,
+                        spawned=(), operation="op")
+
+
+class _FaultyProgram:
+    name = "faulty"
+
+    def __init__(self, exc):
+        self._exc = exc
+
+    def instantiate(self):
+        return _FaultyInstance(self._exc)
+
+
+class TestTerminalStepAccounting:
+    """Every terminal path counts the faulting transition in ``steps``."""
+
+    def test_hung_execution_counts_faulting_step(self):
+        hung = run_execution(
+            _FaultyProgram(ExecutionHung("handshake timed out")),
+            NonfairPolicy(), GuidedChooser([]), ExecutorConfig(),
+        )
+        crashed = run_execution(
+            _FaultyProgram(TaskCrash("boom")),
+            NonfairPolicy(), GuidedChooser([]), ExecutorConfig(),
+        )
+        assert hung.outcome is Outcome.ABORTED
+        assert crashed.outcome is Outcome.VIOLATION
+        # Both faulted on transition #2; the step totals must agree.
+        assert hung.steps == crashed.steps == 2
+
+
+class TestRandomCompletionDecorrelation:
+    """The fallback completion RNG derives from the decision prefix, so
+    different executions complete with different random schedules."""
+
+    def make_yield_forever(self, threads=3):
+        def setup(env):
+            def body():
+                while True:
+                    yield from yield_now()
+
+            for i in range(threads):
+                env.spawn(body, name=f"t{i}")
+
+        return VMProgram(setup, name="yield-forever")
+
+    def _completion_tail(self, guide):
+        config = ExecutorConfig(
+            depth_bound=4,
+            on_depth_exceeded="random-completion",
+            random_completion_cap=40,
+            seed=7,
+        )
+        record = run_execution(self.make_yield_forever(), NonfairPolicy(),
+                               GuidedChooser(guide), config)
+        return [s.tid for s in record.trace][4:]
+
+    def test_different_prefixes_complete_differently(self):
+        tail_a = self._completion_tail([0])
+        tail_b = self._completion_tail([1])
+        assert len(tail_a) == len(tail_b) == 40
+        # With a shared Random(seed) both tails would be the identical
+        # index sequence over three always-enabled symmetric threads.
+        assert tail_a != tail_b
+
+    def test_same_prefix_still_deterministic(self):
+        assert self._completion_tail([1]) == self._completion_tail([1])
 
 
 class TestBFSShortestCounterexample:

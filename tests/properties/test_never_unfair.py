@@ -1,0 +1,120 @@
+"""Corollary of Theorem 1: the fair scheduler produces no unfair schedules,
+so no divergence it reports may be *classified* as UNFAIR.
+
+The classifier blames the scheduler (kind UNFAIR) when an enabled thread
+was starved in the analyzed suffix.  Under the fair policy of Algorithm 1
+that situation is impossible — every divergence must come out LIVELOCK,
+GOOD_SAMARITAN_VIOLATION or TEMPORAL.  This suite checks the corollary on
+the paper's divergent workloads and on hypothesis-drawn spin programs
+whose finite threads terminate mid-execution (the case that used to trip
+the classifier before starvation was gated on end-of-window enabledness).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.checker import Checker
+from repro.core.policies import fair_policy
+from repro.engine.executor import ExecutorConfig
+from repro.engine.results import DivergenceKind
+from repro.engine.strategies import ExplorationLimits, explore_dfs
+from repro.runtime.api import yield_now
+from repro.runtime.program import VMProgram
+from repro.sync.atomics import SharedVar
+from repro.workloads.dining import dining_philosophers_livelock
+from repro.workloads.promise import promise_program
+from repro.workloads.spinloop import spinloop
+from repro.workloads.workerpool import worker_pool
+
+
+def assert_never_unfair(result):
+    for record in result.divergences:
+        assert record.divergence is not None
+        assert record.divergence.kind is not DivergenceKind.UNFAIR, (
+            f"fair search produced an UNFAIR-classified divergence: "
+            f"{record.divergence.detail}"
+        )
+
+
+class TestPaperWorkloads:
+    def check(self, program, **kwargs):
+        result = Checker(
+            program, fairness=True, stop_on_first_divergence=False,
+            stop_on_first_violation=False, **kwargs,
+        ).run()
+        assert result.exploration.divergences, "expected divergences"
+        assert_never_unfair(result.exploration)
+
+    def test_spinloop_terminates_fairly(self):
+        # The correct spinloop has no divergences at all under the fair
+        # scheduler — the strongest form of the corollary.
+        result = Checker(spinloop(), fairness=True, depth_bound=150,
+                         stop_on_first_divergence=False).run()
+        assert result.exploration.complete
+        assert not result.exploration.divergences
+
+    def test_worker_pool_spin(self):
+        self.check(worker_pool(tasks=1, workers=1), depth_bound=150,
+                   max_executions=60)
+
+    def test_promise_stale_read(self):
+        self.check(promise_program(2, stale_read_bug=True),
+                   depth_bound=150, max_executions=60)
+
+    def test_dining_livelock(self):
+        self.check(dining_philosophers_livelock(2), depth_bound=150,
+                   max_executions=60)
+
+
+#: Each drawn thread: ("spin", yields?) loops forever, ("finite", n) does
+#: n shared increments and terminates (leaving the race mid-execution).
+spin_thread = st.tuples(st.just("spin"), st.booleans())
+finite_thread = st.tuples(st.just("finite"), st.integers(1, 3))
+
+
+def build_spin_program(threads):
+    def setup(env):
+        cell = SharedVar(0, name="x")
+
+        def spinner(yields):
+            def body():
+                while True:
+                    yield from cell.get()
+                    if yields:
+                        yield from yield_now()
+            return body
+
+        def worker(count):
+            def body():
+                for _ in range(count):
+                    yield from cell.fetch_add(1)
+            return body
+
+        for index, (kind, arg) in enumerate(threads):
+            if kind == "spin":
+                env.spawn(spinner(arg), name=f"spin{index}")
+            else:
+                env.spawn(worker(arg), name=f"fin{index}")
+
+        env.set_state_fn(lambda: cell.peek())
+
+    return VMProgram(setup, name="spin-mix")
+
+
+class TestDrawnSpinPrograms:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(threads=st.lists(
+        st.one_of(spin_thread, finite_thread), min_size=1, max_size=3,
+    ).filter(lambda ts: any(t[0] == "spin" for t in ts)))
+    def test_fair_divergences_never_unfair(self, threads):
+        program = build_spin_program(threads)
+        result = explore_dfs(
+            program, fair_policy(),
+            ExecutorConfig(depth_bound=100,
+                           on_depth_exceeded="divergence"),
+            ExplorationLimits(max_executions=80,
+                              stop_on_first_violation=False,
+                              stop_on_first_divergence=False),
+        )
+        assert result.divergences, "a spinner must diverge"
+        assert_never_unfair(result)
