@@ -15,10 +15,9 @@ vary too much across machines to gate on.
 """
 
 import json
-import os
 import pathlib
 
-from repro.bench.experiments import hotpath_replay
+from repro.bench.experiments import bench_provenance, hotpath_replay
 from repro.bench.tables import format_table
 from repro.workloads.boundedbuffer import bounded_buffer_program
 from repro.workloads.wsq import work_stealing_queue
@@ -48,7 +47,7 @@ def test_hotpath_replay(benchmark, report, scale):
     payload = {
         "bench": "hotpath_replay",
         "scale": scale,
-        "cpu_count": os.cpu_count(),
+        **bench_provenance(),
         "entries": entries,
     }
     bench_path = REPO_ROOT / "BENCH_hotpath.json"

@@ -18,7 +18,7 @@ import json
 import os
 import pathlib
 
-from repro.bench.experiments import parallel_speedup
+from repro.bench.experiments import bench_provenance, parallel_speedup
 from repro.bench.tables import format_table
 from repro.workloads.dining import dining_philosophers
 from repro.workloads.wsq import work_stealing_queue
@@ -49,7 +49,7 @@ def test_parallel_speedup(benchmark, report, scale):
     payload = {
         "bench": "parallel_speedup",
         "scale": scale,
-        "cpu_count": os.cpu_count(),
+        **bench_provenance(),
         "worker_counts": list(WORKER_COUNTS),
         "entries": entries,
     }

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Profiling: where does the search spend its time?
+
+Runs one counted DFS sweep with the deep-profiling layer attached and
+shows the three views docs/profiling.md describes:
+
+* the decision-tree cost profile — which choice-tree prefixes burn the
+  wall clock (exported as folded stacks for flamegraph.pl/speedscope);
+* the span timeline — what the process was doing and when (exported as
+  Chrome trace-event JSON for Perfetto / chrome://tracing);
+* the snapshot-cache amortization report — does the prefix cache pay
+  for itself on this workload?
+
+The same data is available from the CLI:
+
+    python -m repro check repro.workloads.dining:dining_philosophers \\
+        -a 2 --profile-out profile.folded --chrome-trace trace.json
+    python -m repro profile snapshots
+
+Run:  python examples/profiling_demo.py
+"""
+
+import json
+import tempfile
+
+from repro import Checker
+from repro.obs import Observer
+from repro.obs.profile import (
+    DecisionProfiler,
+    format_snapshot_report,
+    snapshot_amortization,
+    write_chrome_trace,
+)
+from repro.workloads.boundedbuffer import bounded_buffer_program
+from repro.workloads.dining import dining_philosophers
+
+
+def main():
+    profiler = DecisionProfiler()
+    observer = Observer(profiler=profiler)
+    result = Checker(dining_philosophers(2), depth_bound=300,
+                     stop_on_first_violation=False,
+                     stop_on_first_divergence=False,
+                     handle_signals=False,
+                     observer=observer).run()
+    print(f"verdict: {'PASS' if result.ok else 'FAIL'} "
+          f"({result.exploration.executions} executions)")
+
+    print("\nhottest decision prefixes (subtree seconds):")
+    for prefix, seconds in profiler.hottest(5):
+        frames = "root" + "".join(f";{i}" for i in prefix)
+        print(f"  {frames:<24} {seconds * 1e3:8.2f}ms")
+
+    with tempfile.NamedTemporaryFile(suffix=".folded", delete=False) as f:
+        folded_path = f.name
+    with open(folded_path, "w", encoding="utf-8") as f:
+        f.write(profiler.to_folded())
+    print(f"\nfolded stacks written to {folded_path}")
+    print("  render: flamegraph.pl " + folded_path + " > profile.svg")
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as f:
+        trace_path = f.name
+    write_chrome_trace(trace_path, observer.spans.spans,
+                       timers=observer.timers.to_dict(),
+                       lane_names=observer.spans.lane_names)
+    with open(trace_path, encoding="utf-8") as f:
+        events = len(json.load(f)["traceEvents"])
+    print(f"chrome trace ({events} events) written to {trace_path}")
+    print("  open in https://ui.perfetto.dev or chrome://tracing")
+
+    print("\n" + "=" * 60)
+    report = snapshot_amortization(
+        lambda: bounded_buffer_program(items=2, consumers=2),
+        max_executions=80)
+    print(format_snapshot_report(report))
+
+
+if __name__ == "__main__":
+    main()

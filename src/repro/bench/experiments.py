@@ -33,6 +33,23 @@ def _registry(metrics: Optional[MetricsRegistry]) -> MetricsRegistry:
     return metrics if metrics is not None else MetricsRegistry()
 
 
+def bench_provenance() -> Dict[str, object]:
+    """Machine identity stamped into benchmark JSON documents.
+
+    ``repro bench compare`` reports differences in these fields as
+    *drift* warnings: a baseline captured on another host or Python
+    makes the timing comparison suspect rather than wrong.
+    """
+    import platform
+
+    return {
+        "host": platform.node(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def _record_search(registry: MetricsRegistry,
                    result: ExplorationResult) -> None:
     """Fold a search result into the shared checker-metrics schema."""
@@ -388,6 +405,14 @@ def hotpath_replay(
                 counters.counter("executions.restored_steps").value,
             "snapshot_hits": counters.counter("snapshot.hits").value,
             "snapshot_misses": counters.counter("snapshot.misses").value,
+            # Accounted snapshot-cache cost (docs/profiling.md): every
+            # capture/restore perf_counter pair feeds these histograms.
+            "capture_seconds": round(
+                counters.histogram("snapshot.capture.seconds").total, 4),
+            "restore_seconds": round(
+                counters.histogram("snapshot.restore.seconds").total, 4),
+            "captured_bytes": counters.counter("snapshot.captured_bytes").value,
+            "restored_bytes": counters.counter("snapshot.restored_bytes").value,
         }
         if baseline is None:
             baseline = run

@@ -23,6 +23,7 @@ Example::
 from __future__ import annotations
 
 import dataclasses
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional
 
@@ -312,12 +313,13 @@ class Checker:
                 )
             strategy.load_state_dict(payload["state"])
 
-        if controller is not None and options.handle_signals:
-            with GracefulStop() as stop:
-                controller.attach_stop(stop)
+        with self._search_span():
+            if controller is not None and options.handle_signals:
+                with GracefulStop() as stop:
+                    controller.attach_stop(stop)
+                    raw = strategy.explore()
+            else:
                 raw = strategy.explore()
-        else:
-            raw = strategy.explore()
 
         if self.strategy == "icb":
             exploration = merge_sweeps(self.program.name,
@@ -330,6 +332,15 @@ class Checker:
             exploration=exploration,
             warnings=self._build_warnings(exploration),
         )
+
+    def _search_span(self):
+        """Wall-clock span around the whole search (Chrome-trace export
+        root; a no-op context without an observer)."""
+        if self.observer is None:
+            return nullcontext()
+        return self.observer.spans.measure(
+            f"search {self.program.name}", "search",
+            strategy=self.strategy, workers=self.workers)
 
     def _build_warnings(self, exploration: ExplorationResult,
                         extra: Optional[List[str]] = None) -> List[str]:
@@ -393,12 +404,13 @@ class Checker:
                 )
             coordinator.load_state_dict(payload["state"])
 
-        if controller is not None and options.handle_signals:
-            with GracefulStop() as stop:
-                controller.attach_stop(stop)
+        with self._search_span():
+            if controller is not None and options.handle_signals:
+                with GracefulStop() as stop:
+                    controller.attach_stop(stop)
+                    exploration = coordinator.run()
+            else:
                 exploration = coordinator.run()
-        else:
-            exploration = coordinator.run()
 
         return CheckResult(
             program_name=self.program.name,

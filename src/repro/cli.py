@@ -9,6 +9,10 @@ Subcommands:
 * ``replay REPRO_FILE MODULE:FACTORY`` — replay a saved counterexample.
 * ``demo NAME`` — run a built-in workload demonstration.
 * ``demos`` — list the built-in demonstrations.
+* ``profile snapshots [MODULE:FACTORY]`` — snapshot-cache amortization
+  report with an on/off verdict (docs/profiling.md).
+* ``bench compare BASELINE CURRENT`` — diff two benchmark JSON files
+  with noise tolerances; exits non-zero on regression.
 
 Examples::
 
@@ -142,6 +146,15 @@ def _add_checker_options(parser: argparse.ArgumentParser) -> None:
     telemetry.add_argument("--progress-interval", type=float, default=1.0,
                            metavar="SECONDS",
                            help="minimum seconds between progress lines")
+    telemetry.add_argument("--profile-out", metavar="FILE",
+                           help="attribute wall-clock cost to decision-"
+                                "sequence prefixes and write folded stacks "
+                                "(flamegraph.pl / speedscope input; "
+                                "docs/profiling.md)")
+    telemetry.add_argument("--chrome-trace", metavar="FILE",
+                           help="write search/shard span timelines as "
+                                "Chrome trace-event JSON (open in Perfetto "
+                                "or chrome://tracing)")
     resilience = parser.add_argument_group(
         "resilience", "long-search armor (docs/resilience.md)")
     resilience.add_argument("--checkpoint", metavar="PATH",
@@ -194,7 +207,8 @@ def _add_checker_options(parser: argparse.ArgumentParser) -> None:
 def _make_observer(options: argparse.Namespace):
     """Build an Observer when any telemetry flag was given, else None."""
     wants_observer = (options.stats or options.metrics_json
-                      or options.trace_out or options.progress)
+                      or options.trace_out or options.progress
+                      or options.profile_out or options.chrome_trace)
     if not wants_observer:
         return None
     from repro.obs import JsonlTraceWriter, Observer, ProgressReporter
@@ -202,7 +216,12 @@ def _make_observer(options: argparse.Namespace):
     sink = JsonlTraceWriter(options.trace_out) if options.trace_out else None
     progress = (ProgressReporter(interval_seconds=options.progress_interval)
                 if options.progress else None)
-    return Observer(sink=sink, progress=progress)
+    profiler = None
+    if options.profile_out:
+        from repro.obs.profile import DecisionProfiler
+
+        profiler = DecisionProfiler()
+    return Observer(sink=sink, progress=progress, profiler=profiler)
 
 
 def _make_checker(program: Program, options: argparse.Namespace) -> Checker:
@@ -259,6 +278,23 @@ def _report_and_save(program: Program, checker: Checker,
             print(f"metrics written to {path}")
         if options.trace_out:
             print(f"event trace written to {options.trace_out}")
+        if options.profile_out and observer.profiler is not None:
+            Path(options.profile_out).write_text(
+                observer.profiler.to_folded(), encoding="utf-8")
+            print(f"decision profile (folded stacks) written to "
+                  f"{options.profile_out}")
+        if options.chrome_trace:
+            from repro.obs.profile import write_chrome_trace
+
+            write_chrome_trace(
+                options.chrome_trace, observer.spans.spans,
+                timers=observer.timers.to_dict(),
+                lane_names=observer.spans.lane_names,
+                metadata={"program": program.name,
+                          "strategy": checker.strategy,
+                          "workers": checker.workers},
+            )
+            print(f"chrome trace written to {options.chrome_trace}")
     record = result.violation or result.divergence
     if options.save_repro and record is not None:
         path = save_schedule(
@@ -314,6 +350,54 @@ def _cmd_demos(options: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile_snapshots(options: argparse.Namespace) -> int:
+    """Measure snapshot-cache amortization and print the verdict report."""
+    from repro.obs.profile import format_snapshot_report, snapshot_amortization
+
+    if options.program:
+        def program_factory():
+            return _build_program(options.program, options.factory_arg)
+    else:
+        from repro.workloads.boundedbuffer import bounded_buffer_program
+
+        def program_factory():
+            return bounded_buffer_program(items=2, consumers=2)
+
+    report = snapshot_amortization(
+        program_factory,
+        strategy=options.strategy,
+        depth_bound=options.depth_bound,
+        preemption_bound=options.preemption_bound,
+        snapshot_interval=options.snapshot_interval,
+        max_executions=options.max_executions,
+        snapshot_memory_mb=options.snapshot_memory_mb,
+    )
+    print(format_snapshot_report(report))
+    if options.json_out:
+        import json
+
+        Path(options.json_out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"report written to {options.json_out}")
+    return 0
+
+
+def _cmd_bench_compare(options: argparse.Namespace) -> int:
+    """Compare two benchmark JSON files; non-zero exit on regression."""
+    from repro.obs.profile import compare_bench, load_bench
+
+    try:
+        baseline = load_bench(options.baseline)
+        current = load_bench(options.current)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load benchmark file: {exc}") from exc
+    comparison = compare_bench(baseline, current,
+                               tolerance=options.tolerance)
+    print(comparison.summary())
+    return comparison.exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -347,6 +431,49 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     demos_parser = sub.add_parser("demos", help="list built-in demos")
     demos_parser.set_defaults(func=_cmd_demos)
+
+    profile_parser = sub.add_parser(
+        "profile", help="profiling reports (docs/profiling.md)")
+    profile_sub = profile_parser.add_subparsers(dest="profile_command",
+                                                required=True)
+    snapshots_parser = profile_sub.add_parser(
+        "snapshots",
+        help="snapshot-cache amortization report: per-phase capture/"
+             "restore cost vs replay savings, with an on/off verdict")
+    snapshots_parser.add_argument(
+        "program", nargs="?", default=None,
+        help="factory spec package.module:factory "
+             "(default: the hot-path bench workload, "
+             "bounded_buffer_program(items=2, consumers=2))")
+    snapshots_parser.add_argument("-a", "--factory-arg", action="append",
+                                  default=[])
+    snapshots_parser.add_argument("--strategy", default="dfs",
+                                  choices=["dfs", "icb", "bfs", "random",
+                                           "por"])
+    snapshots_parser.add_argument("--depth-bound", type=int, default=200)
+    snapshots_parser.add_argument("--preemption-bound", type=int, default=2)
+    snapshots_parser.add_argument("--snapshot-interval", type=int, default=4)
+    snapshots_parser.add_argument("--max-executions", type=int, default=250)
+    snapshots_parser.add_argument("--snapshot-memory-mb", type=int,
+                                  default=64)
+    snapshots_parser.add_argument("--json-out", metavar="FILE",
+                                  help="also write the report as JSON")
+    snapshots_parser.set_defaults(func=_cmd_profile_snapshots)
+
+    bench_parser = sub.add_parser(
+        "bench", help="benchmark tooling (docs/performance.md)")
+    bench_sub = bench_parser.add_subparsers(dest="bench_command",
+                                            required=True)
+    compare_parser = bench_sub.add_parser(
+        "compare",
+        help="diff two benchmark JSON files with noise tolerances; "
+             "exits non-zero when the current file regresses")
+    compare_parser.add_argument("baseline", help="baseline BENCH_*.json")
+    compare_parser.add_argument("current", help="current BENCH_*.json")
+    compare_parser.add_argument("--tolerance", type=float, default=0.2,
+                                help="relative slack for noisy metrics "
+                                     "(default 0.2 = 20%%)")
+    compare_parser.set_defaults(func=_cmd_bench_compare)
 
     options = parser.parse_args(argv)
     return options.func(options)

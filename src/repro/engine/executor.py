@@ -242,7 +242,12 @@ def _restore_prefix(
             instance = _setup_instance(program, config, observer)
             entry = None
     if timers is not None:
-        timers.add("snapshot", perf_counter() - t0)
+        elapsed = perf_counter() - t0
+        timers.add("snapshot", elapsed)
+        if observer is not None:
+            observer.snapshot_restore_timed(
+                elapsed,
+                entry.estimated_bytes() if entry is not None else 0)
     if observer is not None:
         observer.snapshot_lookup(entry is not None,
                                  entry.steps if entry is not None else 0)
@@ -283,6 +288,7 @@ def run_execution(
     if config.execution_budget_seconds is not None:
         deadline = perf_counter() + config.execution_budget_seconds
     timers = observer.timers if observer is not None else None
+    profiler = observer.profiler if observer is not None else None
 
     restored: Optional[PrefixSnapshot] = None
     if snapshot_cache is not None:
@@ -310,7 +316,10 @@ def run_execution(
             for signature in restored.signatures:
                 coverage.record(signature)
             if timers is not None:
-                timers.add("snapshot", perf_counter() - t0)
+                elapsed = perf_counter() - t0
+                timers.add("snapshot", elapsed)
+                if observer is not None:
+                    observer.snapshot_restore_timed(elapsed, 0)
     else:
         for tid in _sorted_options(instance.thread_ids()):
             policy.register_thread(tid)
@@ -321,6 +330,16 @@ def run_execution(
         yields = 0
         last_tid = None
         last_was_yield = False
+
+    if profiler is not None:
+        # Cursor into the decision-cost tree: enter at the prefix already
+        # recorded (empty for a fresh execution, the restored decisions
+        # after a snapshot fast-forward) and time iterations from here.
+        pnode = profiler.enter(d.index for d in decisions)
+        pmark = perf_counter()
+    else:
+        pnode = None
+        pmark = 0.0
 
     track_signatures = snapshot_cache is not None and coverage is not None
     prefix_signatures: List = (list(restored.signatures or ())
@@ -342,6 +361,7 @@ def run_execution(
         return completion_chooser if completing_randomly else chooser
 
     def data_choice_handler(n: int) -> int:
+        nonlocal pnode
         if timers is not None:
             t0 = perf_counter()
             index = current_chooser().pick("data", n)
@@ -350,6 +370,8 @@ def run_execution(
             index = current_chooser().pick("data", n)
         if not completing_randomly:
             decisions.append(Decision("data", index, n, index))
+            if profiler is not None:
+                pnode = profiler.descend(pnode, index)
             if observer is not None:
                 observer.decision(steps, "data", index, n, index)
         return index
@@ -402,7 +424,11 @@ def run_execution(
                 signatures=(prefix_signatures if track_signatures else None),
             )
             if timers is not None:
-                timers.add("snapshot", perf_counter() - t0)
+                elapsed = perf_counter() - t0
+                timers.add("snapshot", elapsed)
+                if observer is not None:
+                    observer.snapshot_capture_timed(
+                        elapsed, snapshot_cache.last_capture_bytes)
         if coverage is not None:
             if timers is not None:
                 t0 = perf_counter()
@@ -521,6 +547,8 @@ def run_execution(
         if not completing_randomly:
             decisions.append(Decision("thread", index, len(options),
                                       options[index]))
+            if profiler is not None:
+                pnode = profiler.descend(pnode, index)
             if observer is not None:
                 observer.decision(steps, "thread", index, len(options),
                                   options[index], len(schedulable),
@@ -608,11 +636,22 @@ def run_execution(
         last_was_yield = info.yielded
         if observer is not None and info.yielded:
             yields += 1
+        if profiler is not None:
+            # Attribute the whole iteration (policy, chooser, step,
+            # bookkeeping) to the node addressed by the decisions so far.
+            now = perf_counter()
+            profiler.add_step(pnode, now - pmark)
+            pmark = now
 
     if not config.keep_instance:
         closer = getattr(instance, "close", None)
         if closer is not None:
             closer()
+    if profiler is not None:
+        # Terminal remainder: classification, the breaking iteration's
+        # partial work and instance teardown land on the final node, so
+        # the tree total tracks the execution's wall time.
+        profiler.finish_execution(pnode, perf_counter() - pmark)
     completed_randomly = completing_randomly and outcome in (
         Outcome.TERMINATED, Outcome.DEADLOCK)
     result = ExecutionResult(

@@ -119,6 +119,10 @@ class PrefixSnapshotCache:
         self.stored = 0
         self.evictions = 0
         self.failures = 0
+        #: Estimated size of the entry created by the most recent
+        #: :meth:`capture` (0 when the call only refreshed an existing
+        #: key).  Read by the executor's cost accounting.
+        self.last_capture_bytes = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -208,6 +212,7 @@ class PrefixSnapshotCache:
         key = tuple(d.index for d in decisions)
         if key in self._entries:
             self._entries.move_to_end(key)
+            self.last_capture_bytes = 0
             return False
         snapshot = PrefixSnapshot(
             key=key,
@@ -224,7 +229,8 @@ class PrefixSnapshotCache:
             extras=dict(extras or {}),
         )
         self._entries[key] = snapshot
-        self._bytes += snapshot.estimated_bytes()
+        self.last_capture_bytes = snapshot.estimated_bytes()
+        self._bytes += self.last_capture_bytes
         self.stored += 1
         if self._observer is not None:
             self._observer.snapshot_stored(len(self._entries), self._bytes)

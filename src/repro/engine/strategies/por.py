@@ -84,6 +84,7 @@ def _run_once_with_sleep(
     """One execution with sleep sets carried along the path."""
     instance = program.instantiate()
     timers = observer.timers if observer is not None else None
+    profiler = observer.profiler if observer is not None else None
 
     # Prefix-snapshot restore (docs/performance.md): the sleep set at the
     # snapshot point rides along in the entry's extras, and the restored
@@ -130,6 +131,13 @@ def _run_once_with_sleep(
         cursor = 0
         steps = 0
         yields = 0
+
+    if profiler is not None:
+        pnode = profiler.enter(d.index for d in decisions)
+        pmark = time.perf_counter()
+    else:
+        pnode = None
+        pmark = 0.0
 
     track_signatures = snapshot_cache is not None and coverage is not None
     prefix_signatures: List = (list(restored.signatures or ())
@@ -198,6 +206,8 @@ def _run_once_with_sleep(
         cursor += 1
         tid = available[index]
         decisions.append(Decision("thread", index, len(available), tid))
+        if profiler is not None:
+            pnode = profiler.descend(pnode, index)
         if observer is not None:
             observer.decision(steps, "thread", index, len(available), tid,
                               len(schedulable), len(enabled))
@@ -232,6 +242,10 @@ def _run_once_with_sleep(
             if u != tid and _independent(_pending_op(instance, u),
                                          executed_op)
         }
+        if profiler is not None:
+            now = time.perf_counter()
+            profiler.add_step(pnode, now - pmark)
+            pmark = now
 
     result = ExecutionResult(
         outcome=outcome,
@@ -240,6 +254,8 @@ def _run_once_with_sleep(
         violation=violation,
         trace=tuple(trace[-256:]),
     )
+    if profiler is not None:
+        profiler.finish_execution(pnode, time.perf_counter() - pmark)
     if observer is not None:
         if guide:
             limit = min(len(guide), len(decisions))

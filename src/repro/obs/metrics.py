@@ -86,6 +86,38 @@ class Histogram:
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-th percentile (``0 <= q <= 100``).
+
+        The estimate walks the cumulative bucket counts and interpolates
+        linearly inside the matching base-2 bucket ``[2^e, 2^(e+1))``
+        (the sentinel ``<=0`` bucket interpolates over ``[min, 0]``).
+        Exact only at bucket edges; the error is bounded by the bucket
+        width, which is all a shape summary needs.  The estimate is
+        clamped to the exact ``[min, max]`` so p0/p100 are always right.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+        if self.count == 0:
+            return None
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        ordered = sorted(
+            self.buckets.items(),
+            key=lambda item: (-math.inf if item[0] is None else item[0]),
+        )
+        for exponent, samples in ordered:
+            if samples and cumulative + samples >= rank:
+                fraction = max(rank - cumulative, 0.0) / samples
+                if exponent is None:
+                    low, high = min(self.min, 0.0), 0.0
+                else:
+                    low, high = 2.0 ** exponent, 2.0 ** (exponent + 1)
+                estimate = low + fraction * (high - low)
+                return min(max(estimate, self.min), self.max)
+            cumulative += samples
+        return self.max
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "count": self.count,
@@ -93,6 +125,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
             "buckets": {
                 ("<=0" if exp is None else f"2^{exp}"): n
                 for exp, n in sorted(

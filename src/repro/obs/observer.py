@@ -16,12 +16,14 @@ Metric names (see ``docs/observability.md`` for the full schema):
   ``icb.sweeps``, ``crashes``, ``crashes.quarantined``,
   ``executions.aborted``, ``checkpoints``, ``threads.leaked``,
   ``executions.replayed_steps``, ``executions.restored_steps``,
-  ``snapshot.hits``, ``snapshot.misses``, ``snapshot.evictions``;
+  ``snapshot.hits``, ``snapshot.misses``, ``snapshot.evictions``,
+  ``snapshot.captured_bytes``, ``snapshot.restored_bytes``;
 * gauges — ``wall.seconds``, ``rate.executions_per_second``,
   ``rate.transitions_per_second``;
 * histograms — ``schedulable_set_size``, ``enabled_set_size``,
   ``steps_per_execution``, ``yields_per_execution``,
-  ``priority_relation_size``.
+  ``priority_relation_size``, ``snapshot.capture.seconds``,
+  ``snapshot.restore.seconds``.
 """
 
 from __future__ import annotations
@@ -64,11 +66,23 @@ class Observer:
         metrics: Optional[MetricsRegistry] = None,
         timers: Optional[PhaseTimers] = None,
         progress: Optional[ProgressReporter] = None,
+        profiler=None,
+        spans=None,
     ) -> None:
         self.sink = sink
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.timers = timers if timers is not None else PhaseTimers()
         self.progress = progress
+        #: Optional :class:`repro.obs.profile.DecisionProfiler`; when set,
+        #: the executor attributes per-transition time to decision-tree
+        #: prefixes (docs/profiling.md).  None keeps the inner loop on a
+        #: single ``is not None`` branch per touch point.
+        self.profiler = profiler
+        #: :class:`repro.obs.profile.SpanRecorder` collecting wall-clock
+        #: spans (search lifetime, shard lifecycle, worker activity) for
+        #: the Chrome-trace export.  Created lazily on first access so a
+        #: bare Observer stays allocation-light.
+        self._spans = spans
         self._execution = -1  # index of the execution in flight
 
         # Pre-bound hot-path instruments (no dict lookup per transition).
@@ -84,6 +98,19 @@ class Observer:
         self._steps_per_execution = m.histogram("steps_per_execution")
         self._yields_per_execution = m.histogram("yields_per_execution")
         self._priority_size = m.histogram("priority_relation_size")
+
+    @property
+    def spans(self):
+        """The :class:`~repro.obs.profile.SpanRecorder` (lazily created)."""
+        if self._spans is None:
+            from repro.obs.profile.spans import SpanRecorder
+            self._spans = SpanRecorder()
+        return self._spans
+
+    @property
+    def has_spans(self) -> bool:
+        """True when any span was recorded (without forcing creation)."""
+        return self._spans is not None and len(self._spans) > 0
 
     # ------------------------------------------------------------------
     # exploration lifecycle
@@ -318,6 +345,28 @@ class Observer:
         (the cost the snapshot cache removes; counted even with the cache
         off so benchmarks can report the reduction)."""
         self.metrics.counter("executions.replayed_steps").inc(steps)
+
+    def snapshot_capture_timed(self, seconds: float,
+                               estimated_bytes: int) -> None:
+        """Measured cost of one snapshot capture (docs/profiling.md).
+
+        Fed by the same ``perf_counter`` pair that feeds the ``snapshot``
+        phase timer, so capture + restore histogram sums account for the
+        phase total.
+        """
+        self.metrics.histogram("snapshot.capture.seconds").record(seconds)
+        if estimated_bytes:
+            self.metrics.counter("snapshot.captured_bytes").inc(
+                estimated_bytes)
+
+    def snapshot_restore_timed(self, seconds: float,
+                               estimated_bytes: int) -> None:
+        """Measured cost of one cache lookup/fast-forward (0 bytes on a
+        miss; also covers signature replay into the coverage tracker)."""
+        self.metrics.histogram("snapshot.restore.seconds").record(seconds)
+        if estimated_bytes:
+            self.metrics.counter("snapshot.restored_bytes").inc(
+                estimated_bytes)
 
     # ------------------------------------------------------------------
     # reporting

@@ -1,0 +1,137 @@
+"""Chrome trace-event JSON export for span timelines.
+
+The output is the venerable `Trace Event Format`_ (the ``traceEvents``
+array flavour), which Perfetto (https://ui.perfetto.dev) and
+``chrome://tracing`` both load directly: one "X" (complete) event per
+recorded span, one "i" (instant) event per lifecycle marker, and "M"
+(metadata) events naming each process lane.  Timestamps are microseconds
+relative to the earliest span in the document, so the timeline starts at
+zero no matter when the run happened.
+
+Phase-timer totals don't carry wall-clock positions (they are summed
+``perf_counter`` intervals), so they are rendered as a synthetic
+side-by-side track — one complete event per phase, laid out
+sequentially on a dedicated ``phase totals`` thread.  That reads as
+"relative magnitude at a glance", not as a timeline.
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.profile.spans import Span
+
+
+def _sanitize_args(args: Dict[str, object]) -> Dict[str, object]:
+    """Trace-viewer args must be JSON scalars; stringify anything else."""
+    clean: Dict[str, object] = {}
+    for key, value in args.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            clean[key] = value
+        else:
+            clean[key] = str(value)
+    return clean
+
+
+def chrome_trace_document(
+    spans: Iterable[Span],
+    *,
+    timers: Optional[Dict[str, Dict[str, float]]] = None,
+    lane_names: Optional[Dict[int, str]] = None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Build the trace-event document for ``spans``.
+
+    ``timers`` is a ``PhaseTimers.to_dict()`` mapping
+    (``{phase: {"seconds": ..., "samples": ...}}``) rendered as the
+    synthetic phase-totals track; ``lane_names`` maps pid → display name
+    (:attr:`SpanRecorder.lane_names`); ``metadata`` lands in the
+    document's ``otherData`` section.
+    """
+    spans = list(spans)
+    events: List[Dict[str, object]] = []
+    origin = min((span.start for span in spans), default=0.0)
+
+    pids = sorted({span.pid for span in spans})
+    names = dict(lane_names or {})
+    for pid in pids:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": names.get(pid, f"process-{pid}")},
+        })
+
+    for span in spans:
+        ts = (span.start - origin) * 1e6
+        event: Dict[str, object] = {
+            "name": span.name,
+            "cat": span.cat,
+            "pid": span.pid,
+            "tid": span.tid,
+            "ts": ts,
+            "args": _sanitize_args(span.args),
+        }
+        if span.duration is None:
+            event["ph"] = "i"
+            event["s"] = "p"  # process-scoped instant
+        else:
+            event["ph"] = "X"
+            event["dur"] = max(span.duration, 0.0) * 1e6
+        events.append(event)
+
+    if timers:
+        phase_pid = (max(pids) + 1) if pids else 0
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": phase_pid,
+            "tid": 0,
+            "args": {"name": "phase totals"},
+        })
+        cursor = 0.0
+        for phase in sorted(timers):
+            entry = timers[phase]
+            seconds = float(entry.get("seconds", 0.0))
+            events.append({
+                "name": phase,
+                "cat": "phase",
+                "ph": "X",
+                "pid": phase_pid,
+                "tid": "totals",
+                "ts": cursor,
+                "dur": seconds * 1e6,
+                "args": {"seconds": seconds,
+                         "samples": int(entry.get("samples", 0))},
+            })
+            cursor += seconds * 1e6
+
+    document: Dict[str, object] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        document["otherData"] = _sanitize_args(metadata)
+    return document
+
+
+def write_chrome_trace(
+    path,
+    spans: Iterable[Span],
+    *,
+    timers: Optional[Dict[str, Dict[str, float]]] = None,
+    lane_names: Optional[Dict[int, str]] = None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Write the trace document to ``path`` and return it."""
+    document = chrome_trace_document(
+        spans, timers=timers, lane_names=lane_names, metadata=metadata)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return document

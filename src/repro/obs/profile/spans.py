@@ -1,0 +1,154 @@
+"""Wall-clock spans: what every process was doing, and when.
+
+A :class:`Span` is one named interval (or instant) on a timeline lane:
+``pid`` is the process lane (0 = the coordinator / a serial search,
+``worker_id + 1`` for forked workers) and ``tid`` a sub-lane within it.
+Spans use :func:`time.time` (epoch seconds) rather than ``perf_counter``
+so timestamps recorded in *different processes* land on one comparable
+clock — the whole point of the merged timeline is to see worker overlap
+and idle gaps.
+
+The recorder is deliberately dumb: an append-only list plus a
+monotonically increasing span-ID counter.  Workers record their spans
+locally, serialize them with :meth:`SpanRecorder.to_state`, and the
+coordinator folds them in with :meth:`SpanRecorder.extend_from_state`;
+span IDs are re-issued on merge (``origin`` keeps the worker-local ID)
+so IDs stay unique in the merged stream.
+
+Rendering to Chrome trace-event JSON lives in
+:mod:`repro.obs.profile.chrome_trace`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+#: Shard lifecycle categories (docs/profiling.md): a shard is *planned*
+#: by the coordinator, *assigned* to a worker, *executing* on it, and
+#: finally *merged* into the totals (or *requeued* after a crash).
+SHARD_LIFECYCLE = ("planned", "assigned", "executing", "merged", "requeued")
+
+
+@dataclass
+class Span:
+    """One interval (``duration >= 0``) or instant (``duration is None``)."""
+
+    sid: int
+    name: str
+    cat: str
+    start: float  # epoch seconds (time.time)
+    duration: Optional[float]  # None = instant event
+    pid: int = 0
+    tid: str = "main"
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def to_state(self) -> Dict[str, object]:
+        return {
+            "sid": self.sid,
+            "name": self.name,
+            "cat": self.cat,
+            "start": self.start,
+            "duration": self.duration,
+            "pid": self.pid,
+            "tid": self.tid,
+            "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "Span":
+        return cls(
+            sid=int(state.get("sid", 0)),
+            name=str(state.get("name", "")),
+            cat=str(state.get("cat", "")),
+            start=float(state.get("start", 0.0)),
+            duration=(None if state.get("duration") is None
+                      else float(state["duration"])),
+            pid=int(state.get("pid", 0)),
+            tid=str(state.get("tid", "main")),
+            args=dict(state.get("args") or {}),
+        )
+
+
+class SpanRecorder:
+    """Collects spans from one process; mergeable across processes."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._next_sid = 1
+        #: Human-readable lane names for the trace export
+        #: (``{pid: "worker-3"}``).
+        self.lane_names: Dict[int, str] = {0: "coordinator"}
+
+    def new_sid(self) -> int:
+        sid = self._next_sid
+        self._next_sid += 1
+        return sid
+
+    # ------------------------------------------------------------------
+    def name_lane(self, pid: int, name: str) -> None:
+        self.lane_names[pid] = name
+
+    def add(self, name: str, cat: str, start: float,
+            duration: Optional[float], *, pid: int = 0, tid: str = "main",
+            **args) -> Span:
+        span = Span(sid=self.new_sid(), name=name, cat=cat, start=start,
+                    duration=duration, pid=pid, tid=tid, args=args)
+        self.spans.append(span)
+        return span
+
+    def instant(self, name: str, cat: str, *, pid: int = 0,
+                tid: str = "main", **args) -> Span:
+        return self.add(name, cat, time.time(), None, pid=pid, tid=tid,
+                        **args)
+
+    @contextmanager
+    def measure(self, name: str, cat: str, *, pid: int = 0,
+                tid: str = "main", **args) -> Iterator[Span]:
+        """Record a complete span around a ``with`` block."""
+        start = time.time()
+        span = Span(sid=self.new_sid(), name=name, cat=cat, start=start,
+                    duration=None, pid=pid, tid=tid, args=args)
+        try:
+            yield span
+        finally:
+            span.duration = time.time() - start
+            self.spans.append(span)
+
+    # ------------------------------------------------------------------
+    # filtering & merge
+    # ------------------------------------------------------------------
+    def of_category(self, cat: str) -> List[Span]:
+        return [span for span in self.spans if span.cat == cat]
+
+    def to_state(self) -> List[Dict[str, object]]:
+        return [span.to_state() for span in self.spans]
+
+    def extend_from_state(self, states, *, pid: Optional[int] = None,
+                          lane_name: Optional[str] = None) -> int:
+        """Fold spans serialized in another process into this recorder.
+
+        ``pid`` reassigns the process lane (a worker records itself as
+        pid 0 locally); merged spans get fresh IDs, with the sender's ID
+        preserved in ``args["origin"]``.
+        """
+        merged = 0
+        for state in states:
+            span = Span.from_state(state)
+            span.args.setdefault("origin", span.sid)
+            span.sid = self.new_sid()
+            if pid is not None:
+                span.pid = pid
+            self.spans.append(span)
+            merged += 1
+        if pid is not None and lane_name is not None:
+            self.lane_names.setdefault(pid, lane_name)
+        return merged
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        return f"<SpanRecorder spans={len(self.spans)}>"

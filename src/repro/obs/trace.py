@@ -10,6 +10,7 @@ guide of any recorded execution, which
 from __future__ import annotations
 
 import json
+import warnings
 from typing import IO, Iterable, Iterator, List, Optional, Union
 
 from repro.obs.events import (
@@ -44,17 +45,42 @@ class JsonlTraceWriter(EventSink):
             self._handle.close()
 
 
-def read_jsonl(source: Union[str, IO[str], Iterable[str]]) -> Iterator[Event]:
-    """Yield events back from a JSONL trace (path, stream, or lines)."""
+def read_jsonl(source: Union[str, IO[str], Iterable[str]], *,
+               strict: bool = False) -> Iterator[Event]:
+    """Yield events back from a JSONL trace (path, stream, or lines).
+
+    A trace cut short by a crash or a full disk usually ends in a
+    truncated line; by default such corrupt lines are *skipped* with a
+    :class:`RuntimeWarning` naming the line number, so every event
+    before the damage is still recovered.  ``strict=True`` raises
+    :class:`ValueError` at the first bad line instead (for callers that
+    must not silently lose events).
+    """
     if isinstance(source, str):
         with open(source, "r", encoding="utf-8") as handle:
-            for line in handle:
-                if line.strip():
-                    yield event_from_dict(json.loads(line))
+            yield from _read_lines(handle, source, strict)
         return
-    for line in source:
-        if line.strip():
-            yield event_from_dict(json.loads(line))
+    yield from _read_lines(source, "<stream>", strict)
+
+
+def _read_lines(lines: Iterable[str], origin: str,
+                strict: bool) -> Iterator[Event]:
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            event = event_from_dict(json.loads(line))
+        except (json.JSONDecodeError, ValueError, KeyError,
+                TypeError) as exc:
+            if strict:
+                raise ValueError(
+                    f"{origin}:{number}: corrupt trace line: {exc}"
+                ) from exc
+            warnings.warn(
+                f"{origin}:{number}: skipping corrupt trace line ({exc})",
+                RuntimeWarning, stacklevel=3)
+            continue
+        yield event
 
 
 def schedule_from_events(events: Iterable[Event],

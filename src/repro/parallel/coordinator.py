@@ -210,6 +210,16 @@ class ParallelCoordinator:
         )
 
     def _plan_phase(self, bound: Optional[int]) -> ShardPlan:
+        if self.observer is None:
+            return self._plan_shards(bound)
+        with self.observer.spans.measure(
+                f"plan {self._phase_label(bound)}", "planned") as span:
+            plan = self._plan_shards(bound)
+        span.args["shards"] = len(plan.shards)
+        span.args["probes"] = plan.probes
+        return plan
+
+    def _plan_shards(self, bound: Optional[int]) -> ShardPlan:
         if self.strategy == "random":
             return plan_range_shards(self.random_executions,
                                      target=self.shard_target)
@@ -305,6 +315,7 @@ class ParallelCoordinator:
             args=(worker_id, self.program, self.policy_factory, self.config,
                   self.shard_limits, self.strategy, self.seed,
                   self.resilience_options, self.coverage is not None,
+                  self.observer is not None,
                   task_queue, self._result_queue, self._stop_event),
             daemon=True,
         )
@@ -497,7 +508,10 @@ class ParallelCoordinator:
             if self.observer is not None:
                 self.observer.shard_started(shard.index, 0,
                                             shard.describe())
-            state, signatures = run_shard(
+                self.observer.spans.instant(
+                    f"shard {shard.index} assigned", "assigned",
+                    shard=shard.index, worker=0)
+            state, signatures, extras = run_shard(
                 self.program, self.policy_factory, self.config,
                 self.shard_limits, self.strategy, shard,
                 seed=self.seed, bound=bound,
@@ -506,8 +520,10 @@ class ParallelCoordinator:
                     r.outcome.value, r.steps, r.preemptions,
                     r.hit_depth_bound),
                 stop_check=lambda: self._stop_reason,
+                telemetry=self.observer is not None,
             )
-            self._finish_shard(shard.index, 0, state, signatures)
+            self._finish_shard(shard.index, 0, state, signatures,
+                               extras=extras)
 
     def _run_phase_pool(self, phase: int, bound: Optional[int],
                         pending: List[Shard]) -> List[Shard]:
@@ -538,6 +554,10 @@ class ParallelCoordinator:
                     )
             if self.observer is not None:
                 self.observer.worker_crashed(worker_id, index, requeued)
+                if requeued:
+                    self.observer.spans.instant(
+                        f"shard {shard_index} requeued", "requeued",
+                        shard=shard_index, worker=worker_id)
             self._check_global_limits()
 
         def dispatch() -> None:
@@ -549,6 +569,10 @@ class ParallelCoordinator:
                 shard = todo.pop(0)
                 entry.shard = shard.index
                 entry.queue.put((phase, bound, shard.to_state()))
+                if self.observer is not None:
+                    self.observer.spans.instant(
+                        f"shard {shard.index} assigned", "assigned",
+                        shard=shard.index, worker=entry.id)
 
         while outstanding and self._stop_reason is None:
             dispatch()
@@ -634,7 +658,8 @@ class ParallelCoordinator:
                 self._on_streamed_execution(outcome_value, steps,
                                             preemptions, hit_depth_bound)
             elif kind == "done":
-                _, worker_id, _, shard_index, state, signatures = message
+                (_, worker_id, _, shard_index, state, signatures,
+                 extras) = message
                 entry = self._entry(worker_id)
                 if entry is not None and entry.shard == shard_index:
                     entry.shard = None
@@ -642,7 +667,7 @@ class ParallelCoordinator:
                     outstanding.discard(shard_index)
                 self._finish_shard(worker_id=worker_id,
                                    shard_index=shard_index, state=state,
-                                   signatures=signatures)
+                                   signatures=signatures, extras=extras)
             elif kind == "error":
                 _, worker_id, _, shard_index, text = message
                 entry = self._entry(worker_id)
@@ -661,8 +686,25 @@ class ParallelCoordinator:
                     entry.exited = True
 
     def _finish_shard(self, shard_index: int, worker_id: int, state: dict,
-                      signatures) -> None:
+                      signatures, extras: Optional[dict] = None) -> None:
         self._signatures.update(signatures)
+        if extras and self.observer is not None:
+            # Fold the worker-local telemetry into the merged view: phase
+            # timings aggregate (satellite of docs/parallel.md: --stats
+            # under --workers N reports the pool's full engine time) and
+            # spans land on the worker's own timeline lane.
+            timers_state = extras.get("phase_timers")
+            if timers_state:
+                self.observer.timers.merge_state(timers_state)
+            span_states = extras.get("spans")
+            if span_states:
+                lane = "inline" if self.inline else f"worker-{worker_id}"
+                self.observer.spans.extend_from_state(
+                    span_states, pid=worker_id + 1, lane_name=lane)
+        if self.observer is not None:
+            self.observer.spans.instant(
+                f"shard {shard_index} merged", "merged",
+                shard=shard_index, worker=worker_id)
         result = exploration_from_state(state)
         # Coordinated stops are not operator interrupts: the shard's
         # local "interrupted" must not leak into the merged verdict.

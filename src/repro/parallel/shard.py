@@ -93,6 +93,10 @@ class ShardPlan:
     #: Probe records of the interior nodes above the cut, in level order
     #: (folded into the merge for BFS, discarded otherwise).
     preamble: List[ExecutionResult] = field(default_factory=list)
+    #: Planner probe executions spent building this plan (range plans
+    #: need none).  Planning statistic reported on the coordinator's
+    #: "planned" span (docs/profiling.md).
+    probes: int = 0
 
     def to_state(self) -> dict:
         from repro.resilience.checkpoint import record_to_state
@@ -101,6 +105,7 @@ class ShardPlan:
             "kind": self.kind,
             "shards": [shard.to_state() for shard in self.shards],
             "preamble": [record_to_state(r) for r in self.preamble],
+            "probes": self.probes,
         }
 
     @classmethod
@@ -112,6 +117,7 @@ class ShardPlan:
             shards=[Shard.from_state(s) for s in state.get("shards", [])],
             preamble=[record_from_state(r)
                       for r in state.get("preamble", [])],
+            probes=state.get("probes", 0),
         )
 
 
@@ -153,7 +159,8 @@ def plan_prefix_shards(
     prefixes = sorted(leaves + list(frontier))
     shards = [Shard(index=i, kind="prefix", prefix=prefix)
               for i, prefix in enumerate(prefixes)]
-    return ShardPlan(kind="prefix", shards=shards, preamble=preamble)
+    return ShardPlan(kind="prefix", shards=shards, preamble=preamble,
+                     probes=probes)
 
 
 def plan_range_shards(total: int, *,

@@ -54,11 +54,15 @@ def build_shard_strategy(
     coverage: Optional[CoverageTracker] = None,
     listener: Optional[Callable] = None,
     resilience=None,
+    observer=None,
 ):
     """The strategy object exploring exactly one shard's slice of work.
 
     ``bound`` is the preemption bound of the current ICB sweep (None for
     the other strategies); the shard itself carries the prefix or range.
+    ``observer`` is a worker-local :class:`repro.obs.Observer` whose
+    phase timers and spans travel back to the coordinator with the shard
+    result (None keeps the worker's hot path telemetry-free).
     """
     if strategy_name in ("dfs", "icb"):
         cfg = config
@@ -70,12 +74,14 @@ def build_shard_strategy(
             program, policy_factory, cfg, limits,
             prefix=list(shard.prefix), strategy_name=label,
             coverage=coverage, listener=listener, resilience=resilience,
+            observer=observer,
         )
     if strategy_name == "bfs":
         return BfsStrategy(
             program, policy_factory, config, limits,
             prefix=list(shard.prefix),
             coverage=coverage, listener=listener, resilience=resilience,
+            observer=observer,
         )
     if strategy_name == "por":
         # config rides along so each shard builds its own prefix-snapshot
@@ -84,13 +90,14 @@ def build_shard_strategy(
             program, policy_factory, depth_bound=config.depth_bound,
             limits=limits, prefix=list(shard.prefix),
             coverage=coverage, listener=listener, resilience=resilience,
-            config=config,
+            config=config, observer=observer,
         )
     if strategy_name == "random":
         return RandomWalkStrategy(
             program, policy_factory, config, limits,
             executions=shard.count, seed=seed, start=shard.start,
             coverage=coverage, listener=listener, resilience=resilience,
+            observer=observer,
         )
     raise ValueError(f"strategy {strategy_name!r} cannot be sharded")
 
@@ -109,13 +116,20 @@ def run_shard(
     on_execution: Optional[Callable] = None,
     stop_check: Optional[Callable[[], Optional[str]]] = None,
     controller: Optional[ResilienceController] = None,
-) -> Tuple[dict, List[object]]:
-    """Explore one shard; returns ``(exploration_state, signatures)``.
+    telemetry: bool = False,
+) -> Tuple[dict, List[object], Optional[dict]]:
+    """Explore one shard; returns ``(exploration_state, signatures,
+    extras)``.
 
     ``on_execution(record)`` streams per-execution telemetry;
     ``stop_check()`` returning a reason requests a graceful stop at the
     next iteration boundary (the coordinator's stop event, or the inline
     mode's global limit bookkeeping).
+
+    ``telemetry`` enables a shard-local :class:`repro.obs.Observer`:
+    ``extras`` then carries the shard's phase-timer totals and wall-clock
+    spans (serialized) for the coordinator to merge; otherwise ``extras``
+    is None and the exploration hot path stays telemetry-free.
     """
     coverage = CoverageTracker() if collect_coverage else None
     if controller is None and stop_check is not None:
@@ -130,14 +144,32 @@ def run_shard(
             if reason is not None:
                 controller.request_stop(reason)
 
+    observer = None
+    if telemetry:
+        from repro.obs import Observer
+
+        observer = Observer()
+
     strategy = build_shard_strategy(
         program, policy_factory, config, limits, strategy_name, shard,
         seed=seed, bound=bound, coverage=coverage, listener=listener,
-        resilience=controller,
+        resilience=controller, observer=observer,
     )
-    result = strategy.explore()
+    extras: Optional[dict] = None
+    if observer is not None:
+        with observer.spans.measure(
+                f"shard {shard.index} executing", "executing",
+                shard=shard.index, detail=shard.describe(),
+                strategy=strategy_name):
+            result = strategy.explore()
+        extras = {
+            "phase_timers": observer.timers.to_dict(),
+            "spans": observer.spans.to_state(),
+        }
+    else:
+        result = strategy.explore()
     signatures = sorted(coverage.signatures(), key=repr) if coverage else []
-    return exploration_to_state(result), signatures
+    return exploration_to_state(result), signatures, extras
 
 
 def worker_main(
@@ -150,6 +182,7 @@ def worker_main(
     seed: int,
     resilience_options: Optional[ResilienceOptions],
     collect_coverage: bool,
+    telemetry: bool,
     task_queue,
     result_queue,
     stop_event,
@@ -189,7 +222,7 @@ def worker_main(
                 ))
 
             try:
-                state, signatures = run_shard(
+                state, signatures, extras = run_shard(
                     program, policy_factory, config, limits, strategy_name,
                     shard, seed=seed, bound=bound,
                     collect_coverage=collect_coverage,
@@ -197,9 +230,10 @@ def worker_main(
                     stop_check=(lambda: "coordinator"
                                 if stop_event.is_set() else None),
                     controller=controller,
+                    telemetry=telemetry,
                 )
                 result_queue.put(("done", worker_id, phase, shard.index,
-                                  state, signatures))
+                                  state, signatures, extras))
             except Exception:
                 result_queue.put(("error", worker_id, phase, shard.index,
                                   traceback.format_exc()))

@@ -50,6 +50,80 @@ class TestHistogram:
         assert h.to_dict()["count"] == 0
 
 
+class TestHistogramPercentiles:
+    def test_empty_returns_none(self):
+        h = Histogram("p")
+        assert h.percentile(50) is None
+        assert h.to_dict()["p50"] is None
+
+    def test_out_of_range_raises(self):
+        h = Histogram("p")
+        h.record(1)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_endpoints_are_exact(self):
+        h = Histogram("p")
+        for v in (1, 3, 7, 100):
+            h.record(v)
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 100
+
+    def test_single_value(self):
+        h = Histogram("p")
+        h.record(5)
+        for q in (0, 50, 99, 100):
+            assert h.percentile(q) == 5
+
+    def test_interpolation_stays_inside_the_bucket(self):
+        h = Histogram("p")
+        for v in (1, 2, 3, 4, 5, 6, 7, 8):
+            h.record(v)
+        p50 = h.percentile(50)
+        # Half the mass sits at or below bucket 2^2 = [4, 8); the
+        # base-2 estimate must land in that bucket's range.
+        assert 2 <= p50 <= 8
+        assert h.percentile(95) <= h.max
+
+    def test_estimate_error_bounded_by_bucket_width(self):
+        import random
+
+        rng = random.Random(7)
+        samples = sorted(rng.uniform(0.001, 0.1) for _ in range(500))
+        h = Histogram("p")
+        for v in samples:
+            h.record(v)
+        for q in (50, 95, 99):
+            exact = samples[min(int(q / 100 * len(samples)),
+                                len(samples) - 1)]
+            estimate = h.percentile(q)
+            # Base-2 buckets: estimate within one power of two of truth.
+            assert exact / 2 <= estimate <= exact * 2
+
+    def test_monotone_in_q(self):
+        h = Histogram("p")
+        for v in (1, 5, 9, 17, 33, 65):
+            h.record(v)
+        values = [h.percentile(q) for q in (10, 50, 90, 99)]
+        assert values == sorted(values)
+
+    def test_nonpositive_values_use_the_sentinel_bucket(self):
+        h = Histogram("p")
+        for v in (-4, -2, 0, 8):
+            h.record(v)
+        assert h.min <= h.percentile(25) <= 0
+        assert h.percentile(100) == 8
+
+    def test_to_dict_exports_percentiles(self):
+        h = Histogram("p")
+        for v in range(1, 101):
+            h.record(v)
+        d = h.to_dict()
+        assert d["p50"] <= d["p95"] <= d["p99"] <= d["max"]
+
+
 class TestRegistry:
     def test_get_or_create_is_stable(self):
         reg = MetricsRegistry()

@@ -1,0 +1,134 @@
+"""Span recorder and Chrome trace-event export."""
+
+import json
+
+from repro.obs.profile import SpanRecorder, chrome_trace_document
+from repro.obs.profile.spans import SHARD_LIFECYCLE, Span
+
+
+class TestSpanRecorder:
+    def test_measure_records_a_complete_span(self):
+        recorder = SpanRecorder()
+        with recorder.measure("work", "executing", shard=3) as span:
+            pass
+        assert len(recorder) == 1
+        assert span.duration is not None and span.duration >= 0
+        assert span.args == {"shard": 3}
+
+    def test_measure_records_even_when_the_body_raises(self):
+        recorder = SpanRecorder()
+        try:
+            with recorder.measure("work", "executing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert len(recorder) == 1
+        assert recorder.spans[0].duration is not None
+
+    def test_instant_has_no_duration(self):
+        recorder = SpanRecorder()
+        span = recorder.instant("merged", "merged", shard=1)
+        assert span.duration is None
+
+    def test_sids_are_unique_and_increasing(self):
+        recorder = SpanRecorder()
+        sids = [recorder.instant(f"i{i}", "merged").sid for i in range(5)]
+        assert sids == sorted(set(sids))
+
+    def test_of_category_filters(self):
+        recorder = SpanRecorder()
+        recorder.instant("a", "merged")
+        recorder.instant("b", "requeued")
+        assert [s.name for s in recorder.of_category("merged")] == ["a"]
+
+    def test_lifecycle_categories_are_stable(self):
+        # docs/profiling.md documents these category names; renames break
+        # saved traces.
+        assert SHARD_LIFECYCLE == (
+            "planned", "assigned", "executing", "merged", "requeued")
+
+    def test_state_round_trip(self):
+        recorder = SpanRecorder()
+        recorder.add("work", "executing", 100.0, 0.5, pid=0, tid="main",
+                     shard=2)
+        state = recorder.to_state()
+        restored = Span.from_state(state[0])
+        assert restored.name == "work"
+        assert restored.duration == 0.5
+        assert restored.args == {"shard": 2}
+
+    def test_extend_from_state_reassigns_lane_and_sid(self):
+        worker = SpanRecorder()
+        worker.add("shard 0 executing", "executing", 100.0, 0.5)
+        coordinator = SpanRecorder()
+        coordinator.instant("planned", "planned")
+        merged = coordinator.extend_from_state(
+            worker.to_state(), pid=3, lane_name="worker-2")
+        assert merged == 1
+        span = coordinator.spans[-1]
+        assert span.pid == 3
+        assert span.args["origin"] == 1  # the worker-local sid
+        assert coordinator.lane_names[3] == "worker-2"
+        sids = [s.sid for s in coordinator.spans]
+        assert len(sids) == len(set(sids))
+
+
+class TestChromeTrace:
+    def build(self):
+        recorder = SpanRecorder()
+        recorder.add("search", "search", 100.0, 1.0, pid=0)
+        recorder.add("shard 0 executing", "executing", 100.2, 0.4, pid=1)
+        recorder.instant("shard 0 merged", "merged", pid=0)
+        recorder.name_lane(1, "worker-0")
+        return recorder
+
+    def test_document_structure(self):
+        recorder = self.build()
+        doc = chrome_trace_document(
+            recorder.spans, lane_names=recorder.lane_names)
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X", "i"}
+        # One process_name metadata event per lane.
+        names = {e["pid"]: e["args"]["name"]
+                 for e in events if e["ph"] == "M"}
+        assert names[0] == "coordinator"
+        assert names[1] == "worker-0"
+
+    def test_timestamps_are_relative_microseconds(self):
+        recorder = self.build()
+        doc = chrome_trace_document(recorder.spans)
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in complete}
+        import pytest
+
+        assert by_name["search"]["ts"] == 0  # earliest span is the origin
+        assert by_name["search"]["dur"] == pytest.approx(1_000_000)
+        assert by_name["shard 0 executing"]["ts"] == pytest.approx(200_000)
+
+    def test_instants_are_process_scoped(self):
+        recorder = self.build()
+        doc = chrome_trace_document(recorder.spans)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instants and all(e["s"] == "p" for e in instants)
+
+    def test_phase_totals_become_a_synthetic_track(self):
+        recorder = self.build()
+        timers = {"execute": {"seconds": 0.3, "samples": 10},
+                  "policy": {"seconds": 0.1, "samples": 10}}
+        doc = chrome_trace_document(recorder.spans, timers=timers)
+        totals = [e for e in doc["traceEvents"]
+                  if e.get("tid") == "totals" and e["ph"] == "X"]
+        assert {e["name"] for e in totals} == {"execute", "policy"}
+        # The synthetic track sits on its own lane above the real ones.
+        assert all(e["pid"] > 1 for e in totals)
+
+    def test_document_is_json_serializable(self):
+        recorder = self.build()
+        recorder.add("odd args", "search", 100.0, 0.1,
+                     weird=object())  # non-JSON arg value
+        doc = chrome_trace_document(recorder.spans,
+                                    metadata={"program": "dining(2)"})
+        text = json.dumps(doc)
+        assert "dining(2)" in text

@@ -1,0 +1,76 @@
+"""JSONL trace reading under corruption: skip-with-warning vs strict."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.events import ExecutionFinished, ExecutionStarted
+from repro.obs.trace import JsonlTraceWriter, read_jsonl
+
+
+def write_trace(tmp_path, *, corrupt=None):
+    """A two-event trace, optionally with a corrupt line appended."""
+    path = tmp_path / "trace.jsonl"
+    writer = JsonlTraceWriter(str(path))
+    writer.emit(ExecutionStarted(execution=0))
+    writer.emit(ExecutionFinished(execution=0, outcome="terminated",
+                                  steps=3, preemptions=0,
+                                  hit_depth_bound=False))
+    writer.close()
+    if corrupt is not None:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(corrupt)
+    return str(path)
+
+
+class TestCorruptTrailingLines:
+    def test_clean_trace_round_trips(self, tmp_path):
+        events = list(read_jsonl(write_trace(tmp_path)))
+        assert len(events) == 2
+        assert isinstance(events[0], ExecutionStarted)
+
+    def test_truncated_json_is_skipped_with_a_warning(self, tmp_path):
+        # The classic failure: the writer died mid-line (crash, full
+        # disk), leaving a syntactically broken last record.
+        path = write_trace(tmp_path, corrupt='{"type": "execution.fin')
+        with pytest.warns(RuntimeWarning, match="corrupt trace line"):
+            events = list(read_jsonl(path))
+        assert len(events) == 2  # everything before the damage survives
+
+    def test_unknown_event_type_is_skipped(self, tmp_path):
+        path = write_trace(
+            tmp_path, corrupt=json.dumps({"type": "not.a.event"}) + "\n")
+        with pytest.warns(RuntimeWarning, match="not.a.event"):
+            events = list(read_jsonl(path))
+        assert len(events) == 2
+
+    def test_warning_names_the_file_and_line(self, tmp_path):
+        path = write_trace(tmp_path, corrupt="{broken\n")
+        with pytest.warns(RuntimeWarning, match=r"trace\.jsonl:3"):
+            list(read_jsonl(path))
+
+    def test_corruption_in_the_middle_keeps_later_events(self, tmp_path):
+        lines = [json.dumps({"type": "execution.started", "execution": 0}),
+                 "{broken",
+                 json.dumps({"type": "execution.started", "execution": 1})]
+        with pytest.warns(RuntimeWarning):
+            events = list(read_jsonl(lines))
+        assert [e.execution for e in events] == [0, 1]
+
+    def test_strict_mode_raises_with_line_number(self, tmp_path):
+        path = write_trace(tmp_path, corrupt="{broken\n")
+        with pytest.raises(ValueError, match=r":3: corrupt trace line"):
+            list(read_jsonl(path, strict=True))
+
+    def test_strict_mode_passes_clean_traces(self, tmp_path):
+        assert len(list(read_jsonl(write_trace(tmp_path),
+                                   strict=True))) == 2
+
+    def test_stream_source_is_hardened_too(self):
+        stream = io.StringIO(
+            json.dumps({"type": "execution.started", "execution": 0})
+            + "\n{broken\n")
+        with pytest.warns(RuntimeWarning, match="<stream>:2"):
+            events = list(read_jsonl(stream))
+        assert len(events) == 1

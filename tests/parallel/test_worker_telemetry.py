@@ -1,0 +1,108 @@
+"""Parallel telemetry: worker spans and phase timers merge into one
+coordinator-side timeline (docs/profiling.md)."""
+
+import json
+
+import pytest
+
+from repro.checker import Checker
+from repro.obs import Observer
+from repro.obs.profile import chrome_trace_document
+from repro.workloads.dining import dining_philosophers
+
+
+@pytest.fixture(scope="module")
+def merged():
+    """One workers=4 search with an observer; spans + timers merged."""
+    observer = Observer()
+    result = Checker(
+        dining_philosophers(2),
+        depth_bound=300,
+        stop_on_first_violation=False,
+        stop_on_first_divergence=False,
+        handle_signals=False,
+        workers=4,
+        observer=observer,
+    ).run()
+    return result, observer
+
+
+class TestMergedSpans:
+    def test_every_shard_has_an_executing_span(self, merged):
+        result, observer = merged
+        executing = observer.spans.of_category("executing")
+        shards = {span.args["shard"] for span in executing}
+        merged_instants = observer.spans.of_category("merged")
+        assert executing, "no executing spans recorded"
+        # Acceptance criterion: >= 1 span per shard in the merged trace.
+        assert {s.args.get("shard") for s in merged_instants} == shards
+        assert all(span.duration is not None and span.duration >= 0
+                   for span in executing)
+
+    def test_plan_and_search_spans_are_present(self, merged):
+        _, observer = merged
+        cats = {span.cat for span in observer.spans.spans}
+        assert "planned" in cats
+        assert "assigned" in cats
+        assert "search" in cats
+
+    def test_worker_lanes_are_named(self, merged):
+        _, observer = merged
+        lanes = observer.spans.lane_names
+        assert lanes[0] == "coordinator"
+        worker_lanes = {name for pid, name in lanes.items() if pid > 0}
+        assert worker_lanes  # at least one worker (or the inline lane)
+        executing_pids = {s.pid for s in
+                          observer.spans.of_category("executing")}
+        assert executing_pids <= set(lanes)
+
+    def test_merged_span_ids_are_unique(self, merged):
+        _, observer = merged
+        sids = [span.sid for span in observer.spans.spans]
+        assert len(sids) == len(set(sids))
+
+    def test_worker_phase_timers_are_aggregated(self, merged):
+        _, observer = merged
+        totals = observer.timers.totals
+        assert totals.get("execute", 0.0) > 0.0
+        assert observer.timers.counts.get("execute", 0) > 0
+
+    def test_chrome_trace_export_of_the_merged_timeline(self, merged):
+        _, observer = merged
+        doc = chrome_trace_document(
+            observer.spans.spans,
+            timers=observer.timers.to_dict(),
+            lane_names=observer.spans.lane_names,
+        )
+        text = json.dumps(doc)  # must serialize
+        assert "executing" in text
+        pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert len(pids) >= 2  # coordinator totals + at least one lane
+
+
+class TestSerialSpans:
+    def test_serial_search_records_a_search_span(self):
+        observer = Observer()
+        Checker(
+            dining_philosophers(2),
+            depth_bound=300,
+            stop_on_first_violation=False,
+            stop_on_first_divergence=False,
+            handle_signals=False,
+            observer=observer,
+        ).run()
+        search = observer.spans.of_category("search")
+        assert len(search) == 1
+        assert search[0].duration is not None
+
+    def test_no_observer_means_no_span_machinery(self):
+        checker = Checker(
+            dining_philosophers(2),
+            depth_bound=300,
+            stop_on_first_violation=False,
+            stop_on_first_divergence=False,
+            handle_signals=False,
+            workers=2,
+        )
+        result = checker.run()
+        assert result.ok
