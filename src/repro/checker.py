@@ -183,10 +183,16 @@ class Checker:
         snapshot_cache: bool = False,
         snapshot_interval: int = 16,
         snapshot_memory_mb: int = 64,
+        external_stop=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be positive")
         self.program = program
+        #: Optional :class:`repro.resilience.GracefulStop` another thread
+        #: can ``request()`` to stop this search at the next execution
+        #: boundary (the checking service's cancellation path).  Works
+        #: with ``handle_signals=False``, off the main thread.
+        self.external_stop = external_stop
         #: Worker processes for the sharded search (1 = serial, today's
         #: behavior; see docs/parallel.md).
         self.workers = workers
@@ -294,7 +300,8 @@ class Checker:
             return self._run_parallel(resume_from)
         options = self.resilience_options
         controller = None
-        if options.enabled or resume_from is not None:
+        if (options.enabled or resume_from is not None
+                or self.external_stop is not None):
             controller = ResilienceController(
                 options,
                 program=self.program,
@@ -302,6 +309,8 @@ class Checker:
                 config=self.config,
                 observer=self.observer,
             )
+            if self.external_stop is not None:
+                controller.attach_stop(self.external_stop)
         strategy = self._make_strategy(resilience=controller)
         if resume_from is not None:
             payload = load_checkpoint(resume_from)
@@ -314,7 +323,8 @@ class Checker:
             strategy.load_state_dict(payload["state"])
 
         with self._search_span():
-            if controller is not None and options.handle_signals:
+            if (controller is not None and options.handle_signals
+                    and self.external_stop is None):
                 with GracefulStop() as stop:
                     controller.attach_stop(stop)
                     raw = strategy.explore()
@@ -371,7 +381,8 @@ class Checker:
 
         options = self.resilience_options
         controller = None
-        if options.enabled or resume_from is not None:
+        if (options.enabled or resume_from is not None
+                or self.external_stop is not None):
             controller = ResilienceController(
                 options,
                 program=self.program,
@@ -379,6 +390,8 @@ class Checker:
                 config=self.config,
                 observer=self.observer,
             )
+            if self.external_stop is not None:
+                controller.attach_stop(self.external_stop)
         max_bound = (self.config.preemption_bound
                      if self.config.preemption_bound is not None else 2)
         coordinator = ParallelCoordinator(
@@ -405,7 +418,8 @@ class Checker:
             coordinator.load_state_dict(payload["state"])
 
         with self._search_span():
-            if controller is not None and options.handle_signals:
+            if (controller is not None and options.handle_signals
+                    and self.external_stop is None):
                 with GracefulStop() as stop:
                     controller.attach_stop(stop)
                     exploration = coordinator.run()

@@ -118,13 +118,26 @@ class IcbStrategy(SearchStrategy):
         self._inner_state: Optional[dict] = None
 
     # ------------------------------------------------------------------
+    def _completed_executions(self) -> int:
+        return sum(int(state.get("executions", 0))
+                   for state in self.completed)
+
     def _make_inner(self, bound: int) -> DfsStrategy:
         config = dataclasses.replace(self.config, preemption_bound=bound)
+        limits = self.limits
+        if limits is not None and limits.max_executions is not None:
+            # The execution budget is a property of the whole sweep
+            # sequence; charge this sweep only what the finished sweeps
+            # left over, so ``max_executions`` bounds the merged total
+            # (and resume-with-raised-cap slices each bound exactly).
+            remaining = max(0, limits.max_executions
+                            - self._completed_executions())
+            limits = dataclasses.replace(limits, max_executions=remaining)
         inner = DfsStrategy(
             self.program,
             self.policy_factory,
             config,
-            self.limits,
+            limits,
             coverage=self.coverage,
             listener=self.listener,
             strategy_name=f"cb={bound}",
@@ -174,6 +187,13 @@ class IcbStrategy(SearchStrategy):
             self._current_inner = None
             results.append(result)
             if result.interrupted:
+                break
+            if result.limit_hit and not result.complete:
+                # A resource limit cut the sweep short.  Keep the bound
+                # in flight — exactly like an interrupt — so a resumed
+                # search continues this sweep from its frontier instead
+                # of recording a truncated sweep and skipping to the
+                # next bound (which would explore a different space).
                 break
             self.completed.append(exploration_to_state(result))
             if self.observer is not None:

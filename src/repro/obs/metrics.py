@@ -9,44 +9,62 @@ schema.
 
 Metric names are dotted lowercase (``divergence.livelock``,
 ``states.new``).  All three instrument types are allocation-free on the
-update path (plain attribute arithmetic).
+update path (plain attribute arithmetic under a per-instrument lock).
+
+Thread safety: instruments are updated concurrently when several
+checking jobs share one process (the service's worker fleet,
+``docs/service.md``), and ``value += amount`` is a read-modify-write
+that loses increments between bytecodes.  Every mutation therefore
+holds a per-instrument lock; reads of a single int/float attribute stay
+lock-free (atomic under the GIL), while multi-field reads (histogram
+export) lock to see a consistent snapshot.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import threading
 import time
 from typing import Dict, Optional
 
 
 class Counter:
-    """Monotonically increasing integer."""
+    """Monotonically increasing integer (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"<Counter {self.name}={self.value}>"
 
 
 class Gauge:
-    """A value that goes up and down (last write wins)."""
+    """A value that goes up and down (last write wins; thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
+
+    def add(self, amount: float) -> None:
+        """Atomic read-modify-write (``set(value + amount)`` races)."""
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"<Gauge {self.name}={self.value}>"
@@ -60,7 +78,7 @@ class Histogram:
     "how big do schedulable sets get" without storing samples.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -71,20 +89,28 @@ class Histogram:
         #: bucket exponent -> observations with floor(log2(v)) == exponent
         #: (values <= 0 land in the sentinel bucket None).
         self.buckets: Dict[Optional[int], int] = {}
+        self._lock = threading.Lock()
 
     def record(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
         exponent = math.floor(math.log2(value)) if value > 0 else None
-        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
 
     @property
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
+
+    def _snapshot(self):
+        """A consistent (count, total, min, max, buckets) view."""
+        with self._lock:
+            return (self.count, self.total, self.min, self.max,
+                    dict(self.buckets))
 
     def percentile(self, q: float) -> Optional[float]:
         """Estimate the ``q``-th percentile (``0 <= q <= 100``).
@@ -96,42 +122,24 @@ class Histogram:
         width, which is all a shape summary needs.  The estimate is
         clamped to the exact ``[min, max]`` so p0/p100 are always right.
         """
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {q!r}")
-        if self.count == 0:
-            return None
-        rank = q / 100.0 * self.count
-        cumulative = 0
-        ordered = sorted(
-            self.buckets.items(),
-            key=lambda item: (-math.inf if item[0] is None else item[0]),
-        )
-        for exponent, samples in ordered:
-            if samples and cumulative + samples >= rank:
-                fraction = max(rank - cumulative, 0.0) / samples
-                if exponent is None:
-                    low, high = min(self.min, 0.0), 0.0
-                else:
-                    low, high = 2.0 ** exponent, 2.0 ** (exponent + 1)
-                estimate = low + fraction * (high - low)
-                return min(max(estimate, self.min), self.max)
-            cumulative += samples
-        return self.max
+        count, _, low_bound, high_bound, buckets = self._snapshot()
+        return _estimate_percentile(q, count, low_bound, high_bound, buckets)
 
     def to_dict(self) -> Dict[str, object]:
+        count, total, min_v, max_v, buckets = self._snapshot()
         return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.mean,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+            "count": count,
+            "sum": total,
+            "min": min_v,
+            "max": max_v,
+            "mean": total / count if count else None,
+            "p50": _estimate_percentile(50, count, min_v, max_v, buckets),
+            "p95": _estimate_percentile(95, count, min_v, max_v, buckets),
+            "p99": _estimate_percentile(99, count, min_v, max_v, buckets),
             "buckets": {
                 ("<=0" if exp is None else f"2^{exp}"): n
                 for exp, n in sorted(
-                    self.buckets.items(),
+                    buckets.items(),
                     key=lambda item: (-math.inf if item[0] is None
                                       else item[0]),
                 )
@@ -141,6 +149,34 @@ class Histogram:
     def __repr__(self) -> str:
         return (f"<Histogram {self.name} count={self.count} "
                 f"mean={self.mean}>")
+
+
+def _estimate_percentile(q: float, count: int, min_v: Optional[float],
+                         max_v: Optional[float],
+                         buckets: Dict[Optional[int], int]
+                         ) -> Optional[float]:
+    """Percentile estimate over a bucket snapshot (see ``percentile``)."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+    if count == 0:
+        return None
+    rank = q / 100.0 * count
+    cumulative = 0
+    ordered = sorted(
+        buckets.items(),
+        key=lambda item: (-math.inf if item[0] is None else item[0]),
+    )
+    for exponent, samples in ordered:
+        if samples and cumulative + samples >= rank:
+            fraction = max(rank - cumulative, 0.0) / samples
+            if exponent is None:
+                low, high = min(min_v, 0.0), 0.0
+            else:
+                low, high = 2.0 ** exponent, 2.0 ** (exponent + 1)
+            estimate = low + fraction * (high - low)
+            return min(max(estimate, min_v), max_v)
+        cumulative += samples
+    return max_v
 
 
 class TimerHandle:
@@ -168,9 +204,16 @@ class TimerHandle:
 
 
 class MetricsRegistry:
-    """Named metrics, created on first use; one flat namespace."""
+    """Named metrics, created on first use; one flat namespace.
+
+    Get-or-create is guarded by a registry lock so two threads asking
+    for the same name always share one instrument (an unlocked race
+    would hand each thread its own ``Counter`` and silently drop one
+    side's increments when the second insert wins).
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -179,19 +222,28 @@ class MetricsRegistry:
     def counter(self, name: str) -> Counter:
         metric = self._counters.get(name)
         if metric is None:
-            metric = self._counters[name] = Counter(name)
+            with self._lock:
+                metric = self._counters.get(name)
+                if metric is None:
+                    metric = self._counters[name] = Counter(name)
         return metric
 
     def gauge(self, name: str) -> Gauge:
         metric = self._gauges.get(name)
         if metric is None:
-            metric = self._gauges[name] = Gauge(name)
+            with self._lock:
+                metric = self._gauges.get(name)
+                if metric is None:
+                    metric = self._gauges[name] = Gauge(name)
         return metric
 
     def histogram(self, name: str) -> Histogram:
         metric = self._histograms.get(name)
         if metric is None:
-            metric = self._histograms[name] = Histogram(name)
+            with self._lock:
+                metric = self._histograms.get(name)
+                if metric is None:
+                    metric = self._histograms[name] = Histogram(name)
         return metric
 
     def timer(self, name: str) -> TimerHandle:
@@ -204,29 +256,27 @@ class MetricsRegistry:
         return name in self._counters
 
     def __len__(self) -> int:
-        return (len(self._counters) + len(self._gauges)
-                + len(self._histograms))
+        with self._lock:
+            return (len(self._counters) + len(self._gauges)
+                    + len(self._histograms))
 
     def names(self) -> list:
-        return sorted(
-            list(self._counters) + list(self._gauges)
-            + list(self._histograms)
-        )
+        with self._lock:
+            return sorted(
+                list(self._counters) + list(self._gauges)
+                + list(self._histograms)
+            )
 
     def to_dict(self) -> Dict[str, object]:
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
         return {
-            "counters": {
-                name: metric.value
-                for name, metric in sorted(self._counters.items())
-            },
-            "gauges": {
-                name: metric.value
-                for name, metric in sorted(self._gauges.items())
-            },
-            "histograms": {
-                name: metric.to_dict()
-                for name, metric in sorted(self._histograms.items())
-            },
+            "counters": {name: metric.value for name, metric in counters},
+            "gauges": {name: metric.value for name, metric in gauges},
+            "histograms": {name: metric.to_dict()
+                           for name, metric in histograms},
         }
 
     def dump_json(self, path: str, *, extra: Optional[Dict[str, object]] = None) -> str:
@@ -241,18 +291,22 @@ class MetricsRegistry:
 
     def summary(self) -> str:
         """Human-readable listing for ``--stats`` output."""
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
         lines = []
-        if self._counters:
+        if counters:
             lines.append("counters:")
-            for name, metric in sorted(self._counters.items()):
+            for name, metric in counters:
                 lines.append(f"  {name:<32} {metric.value}")
-        if self._gauges:
+        if gauges:
             lines.append("gauges:")
-            for name, metric in sorted(self._gauges.items()):
+            for name, metric in gauges:
                 lines.append(f"  {name:<32} {metric.value:g}")
-        if self._histograms:
+        if histograms:
             lines.append("histograms:")
-            for name, metric in sorted(self._histograms.items()):
+            for name, metric in histograms:
                 mean = metric.mean
                 lines.append(
                     f"  {name:<32} count={metric.count} "

@@ -1,0 +1,61 @@
+"""Checking-as-a-service: async jobs over the exploration substrate.
+
+A :class:`CheckServer` owns a durable data directory and a bounded
+worker fleet; clients submit checking *jobs* (program factory + checker
+config + priority class) and the server slices the fleet across them in
+execution-count quanta under deficit-weighted round robin, so a smoke
+check never starves behind a bulk sweep.  See ``docs/service.md``.
+
+In-process use::
+
+    from repro.service import CheckServer, JobSpec
+
+    server = CheckServer(data_dir, fleet=2)
+    record = server.submit(JobSpec(
+        program="repro.workloads.dining:dining_philosophers",
+        factory_args=[2], config={"strategy": "dfs"}))
+    server.run_until_idle(timeout=60)
+    print(server.result(record.id)["verdict"])
+
+Out of process, ``repro serve`` runs the server and ``repro job
+submit/status/watch/result/cancel`` talk to it over the filesystem
+transport (shared data dir) or localhost HTTP (``--http``).
+"""
+
+from repro.service.jobs import (
+    ALLOWED_CONFIG_KEYS,
+    PRIORITY_WEIGHTS,
+    JobRecord,
+    JobSpec,
+    JobState,
+    new_job_id,
+)
+from repro.service.scheduler import (
+    STARVATION_SLACK,
+    JobScheduler,
+    TokenBucket,
+)
+from repro.service.server import (
+    CheckServer,
+    JobSetupError,
+    RateLimitedError,
+    build_program,
+)
+from repro.service.store import JobStore
+
+__all__ = [
+    "ALLOWED_CONFIG_KEYS",
+    "CheckServer",
+    "JobRecord",
+    "JobScheduler",
+    "JobSetupError",
+    "JobSpec",
+    "JobState",
+    "JobStore",
+    "PRIORITY_WEIGHTS",
+    "RateLimitedError",
+    "STARVATION_SLACK",
+    "TokenBucket",
+    "build_program",
+    "new_job_id",
+]

@@ -1,0 +1,233 @@
+"""Batch clients for the checking service.
+
+Two transports, one surface:
+
+* :class:`FilesystemClient` — shares the server's data directory.
+  Submissions are atomic drops into ``inbox/``, cancels are flag files,
+  and status/result/events are read straight from the durable job
+  directories.  Works across processes and across server restarts with
+  no socket at all.
+* :class:`HttpClient` — talks to ``repro serve --http`` over localhost
+  using only ``urllib`` (no third-party deps).
+
+Both expose ``submit / status / list_jobs / result / cancel`` plus the
+blocking helpers ``wait`` (poll until terminal) and ``watch`` (generator
+over the job's live event stream).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.service.jobs import JobSpec, new_job_id
+from repro.service.server import RateLimitedError
+from repro.service.store import JobStore
+
+#: States after which a job's record stops changing.
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+class ServiceClientError(Exception):
+    """Transport-level or server-side error talking to the service."""
+
+
+class ServiceClient:
+    """Shared polling logic; subclasses provide the transport verbs."""
+
+    poll_interval = 0.2
+
+    # -- transport verbs (subclass responsibility) ---------------------
+    def submit(self, spec: JobSpec) -> str:
+        raise NotImplementedError
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """The job record; raises KeyError while unknown."""
+        raise NotImplementedError
+
+    def list_jobs(self) -> List[Dict[str, object]]:
+        raise NotImplementedError
+
+    def result(self, job_id: str) -> Optional[Dict[str, object]]:
+        raise NotImplementedError
+
+    def cancel(self, job_id: str) -> None:
+        raise NotImplementedError
+
+    def read_events(self, job_id: str,
+                    offset: int) -> Tuple[List[dict], int]:
+        """Events appended past ``offset``; returns (events, new offset)."""
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------
+    def wait(self, job_id: str, *,
+             timeout: Optional[float] = None) -> Dict[str, object]:
+        """Block until the job is terminal; returns its final record.
+
+        Tolerates a not-yet-admitted job (filesystem submissions appear
+        only once the server drains its inbox).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                record = self.status(job_id)
+                if record.get("state") in _TERMINAL:
+                    return record
+            except KeyError:
+                pass  # submitted but not yet admitted
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} not terminal after {timeout}s")
+            time.sleep(self.poll_interval)
+
+    def watch(self, job_id: str, *,
+              timeout: Optional[float] = None) -> Iterator[dict]:
+        """Yield the job's events live until it reaches a terminal state."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        offset = 0
+        while True:
+            events, offset = self.read_events(job_id, offset)
+            for event in events:
+                yield event
+            try:
+                state = self.status(job_id).get("state")
+            except KeyError:
+                state = None
+            if state in _TERMINAL:
+                # Drain whatever the finalizer appended after our read.
+                events, offset = self.read_events(job_id, offset)
+                for event in events:
+                    yield event
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"watch of {job_id} timed out")
+            time.sleep(self.poll_interval)
+
+
+class FilesystemClient(ServiceClient):
+    """Client over a shared data directory (no server socket needed)."""
+
+    def __init__(self, data_dir: Union[str, Path]) -> None:
+        self.store = JobStore(data_dir)
+
+    def submit(self, spec: JobSpec) -> str:
+        spec.validate()
+        job_id = new_job_id()
+        self.store.drop_submission(spec, job_id)
+        return job_id
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self.store.load(job_id).to_dict()
+
+    def list_jobs(self) -> List[Dict[str, object]]:
+        return [record.to_dict() for record in self.store.jobs()]
+
+    def result(self, job_id: str) -> Optional[Dict[str, object]]:
+        return self.store.load_result(job_id)
+
+    def cancel(self, job_id: str) -> None:
+        self.store.drop_cancel(job_id)
+
+    def read_events(self, job_id: str,
+                    offset: int) -> Tuple[List[dict], int]:
+        path = self.store.events_path(job_id)
+        events: List[dict] = []
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                handle.seek(offset)
+                for line in handle:
+                    if not line.endswith("\n"):
+                        break  # mid-append; re-read from here next poll
+                    offset += len(line.encode("utf-8"))
+                    stripped = line.strip()
+                    if not stripped:
+                        continue
+                    try:
+                        events.append(json.loads(stripped))
+                    except json.JSONDecodeError:
+                        continue
+        except OSError:
+            pass
+        return events, offset
+
+
+class HttpClient(ServiceClient):
+    """Client over the localhost HTTP facade (``repro serve --http``)."""
+
+    def __init__(self, url: str, *, request_timeout: float = 10.0) -> None:
+        self.base = url.rstrip("/")
+        self.request_timeout = request_timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base + path, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.request_timeout) as response:
+                return json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                message = json.loads(body).get("error", "")
+            except (ValueError, AttributeError):
+                message = body.decode("utf-8", "replace")
+            if exc.code == 404:
+                raise KeyError(message or path) from None
+            if exc.code == 429:
+                raise RateLimitedError(message) from None
+            raise ServiceClientError(
+                f"{method} {path} -> {exc.code}: {message}") from None
+        except urllib.error.URLError as exc:
+            raise ServiceClientError(
+                f"cannot reach service at {self.base}: {exc.reason}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> str:
+        record = self._request("POST", "/v1/jobs", {"spec": spec.to_dict()})
+        return record["id"]
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def list_jobs(self) -> List[Dict[str, object]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def result(self, job_id: str) -> Optional[Dict[str, object]]:
+        try:
+            return self._request("GET", f"/v1/jobs/{job_id}/result")
+        except KeyError:
+            return None
+
+    def cancel(self, job_id: str) -> None:
+        self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def read_events(self, job_id: str,
+                    offset: int) -> Tuple[List[dict], int]:
+        payload = self._request(
+            "GET", f"/v1/jobs/{job_id}/events?offset={offset}")
+        return payload.get("events", []), payload.get("offset", offset)
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+
+def make_client(*, data_dir: Optional[Union[str, Path]] = None,
+                url: Optional[str] = None) -> ServiceClient:
+    """Pick the transport from whichever coordinate the caller has."""
+    if (data_dir is None) == (url is None):
+        raise ValueError("pass exactly one of data_dir or url")
+    if url is not None:
+        return HttpClient(url)
+    return FilesystemClient(data_dir)

@@ -1,0 +1,196 @@
+"""Minimal localhost HTTP facade over a :class:`CheckServer`.
+
+Stdlib-only (``http.server``), intended for loopback use by the batch
+client and for poking with ``curl`` — not an internet-facing API.
+
+Routes (all JSON)::
+
+    POST /v1/jobs                submit {spec: {...}} -> 201 job record
+                                 (429 when the client is rate limited,
+                                  400 on an invalid spec)
+    GET  /v1/jobs                list job records
+    GET  /v1/jobs/<id>           one job record (404 unknown)
+    GET  /v1/jobs/<id>/result    final result payload (404 until done)
+    GET  /v1/jobs/<id>/events?offset=N
+                                 events.jsonl tail from byte N; replies
+                                 {events: [...], offset: M} for resume
+    POST /v1/jobs/<id>/cancel    request cancellation -> job record
+    GET  /healthz                liveness + fairness summary
+    GET  /metrics                full metrics registry dump
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.service.jobs import JobSpec
+from repro.service.server import CheckServer, RateLimitedError
+
+_JOB_ROUTE = re.compile(
+    r"^/v1/jobs/(?P<id>[^/]+)(?:/(?P<sub>result|events|cancel))?$")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the server attribute carries the CheckServer."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    # quiet: the service has its own telemetry; per-request stderr noise
+    # would swamp the console the operator started `repro serve` in.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    @property
+    def check_server(self) -> CheckServer:
+        return self.server.check_server  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        path, _, query = self.path.partition("?")
+        if path == "/healthz":
+            self._reply(200, self.check_server.health())
+            return
+        if path == "/metrics":
+            self._reply(200, self.check_server.metrics.to_dict())
+            return
+        if path == "/v1/jobs":
+            self._reply(200, {"jobs": [r.to_dict()
+                                       for r in self.check_server.jobs()]})
+            return
+        match = _JOB_ROUTE.match(path)
+        if match is None:
+            self._reply(404, {"error": f"no route {path!r}"})
+            return
+        job_id, sub = match.group("id"), match.group("sub")
+        if sub == "cancel":
+            self._reply(405, {"error": "cancel requires POST"})
+            return
+        try:
+            record = self.check_server.job(job_id)
+        except (KeyError, ValueError):
+            self._reply(404, {"error": f"unknown job {job_id!r}"})
+            return
+        if sub is None:
+            self._reply(200, record.to_dict())
+        elif sub == "result":
+            result = self.check_server.result(job_id)
+            if result is None:
+                self._reply(404, {"error": "result not ready",
+                                  "state": record.state.value})
+            else:
+                self._reply(200, result)
+        elif sub == "events":
+            offset = 0
+            for part in query.split("&"):
+                if part.startswith("offset="):
+                    try:
+                        offset = max(0, int(part[len("offset="):]))
+                    except ValueError:
+                        pass
+            events, new_offset = self._tail_events(job_id, offset)
+            self._reply(200, {"events": events, "offset": new_offset,
+                              "state": record.state.value})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        path = self.path.partition("?")[0]
+        if path == "/v1/jobs":
+            self._submit()
+            return
+        match = _JOB_ROUTE.match(path)
+        if match is not None and match.group("sub") == "cancel":
+            try:
+                record = self.check_server.cancel(match.group("id"))
+            except (KeyError, ValueError):
+                self._reply(404, {"error": "unknown job"})
+                return
+            self._reply(200, record.to_dict())
+            return
+        self._reply(404, {"error": f"no route {path!r}"})
+
+    # ------------------------------------------------------------------
+    def _submit(self) -> None:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            spec = JobSpec.from_dict(payload.get("spec", payload))
+        except (ValueError, TypeError) as exc:
+            self._reply(400, {"error": f"bad request body: {exc}"})
+            return
+        try:
+            record = self.check_server.submit(spec)
+        except RateLimitedError as exc:
+            self._reply(429, {"error": str(exc)})
+            return
+        except ValueError as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        self._reply(201, record.to_dict())
+
+    def _tail_events(self, job_id: str, offset: int) -> Tuple[list, int]:
+        path = self.check_server.store.events_path(job_id)
+        events = []
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                handle.seek(offset)
+                for line in handle:
+                    if not line.endswith("\n"):
+                        break  # mid-append; retry from here next poll
+                    offset += len(line.encode("utf-8"))
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        events.append(json.loads(line))
+                    except json.JSONDecodeError:
+                        continue
+        except OSError:
+            pass
+        return events, offset
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class ServiceHttpServer:
+    """Owns the listening socket and its serving thread."""
+
+    def __init__(self, check_server: CheckServer, *,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.check_server = check_server  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="check-http",
+            daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None

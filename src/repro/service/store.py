@@ -1,0 +1,212 @@
+"""Durable job state: one directory per job, atomic JSON writes.
+
+Layout under the service data directory::
+
+    <data_dir>/
+      inbox/                     filesystem-transport submissions
+        <job_id>.json            (written atomically by clients)
+      cancel/
+        <job_id>                 cancel-request flag files
+      jobs/<job_id>/
+        job.json                 JobRecord (atomic tmp+rename writes)
+        checkpoint.json          strategy checkpoint between quanta
+        events.jsonl             live progress stream (JSONL tail)
+        result.json              final verdict + totals + report
+        repro.json               replayable counterexample schedule
+        quarantine/              crash repro schedules
+
+The invariant the whole service leans on: **the durable state is the
+authority**.  A server crash between any two steps loses at most the
+in-flight quantum — ``job.json`` still says RUNNING, ``checkpoint.json``
+still holds the last flushed strategy state, and the next server boot
+re-queues the job to resume from exactly there (the strategy layer's
+checkpoint-at-iteration-start discipline makes the re-run of a
+half-finished quantum deterministic and identical).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from repro.resilience.checkpoint import CheckpointStore
+from repro.service.jobs import JobRecord, JobSpec, JobState
+
+
+class JobStore:
+    """Filesystem persistence for job records and their artifacts."""
+
+    def __init__(self, data_dir: Union[str, Path]) -> None:
+        self.root = Path(data_dir)
+        self.inbox_dir = self.root / "inbox"
+        self.cancel_dir = self.root / "cancel"
+        self.jobs_dir = self.root / "jobs"
+        for directory in (self.root, self.inbox_dir, self.cancel_dir,
+                          self.jobs_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def job_dir(self, job_id: str) -> Path:
+        return self.jobs_dir / job_id
+
+    def record_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "job.json"
+
+    def checkpoint_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "checkpoint.json"
+
+    def events_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "events.jsonl"
+
+    def result_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "result.json"
+
+    def repro_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "repro.json"
+
+    def quarantine_dir(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "quarantine"
+
+    # ------------------------------------------------------------------
+    # records
+    # ------------------------------------------------------------------
+    def create(self, record: JobRecord) -> None:
+        path = self.job_dir(record.id)
+        if path.exists():
+            raise ValueError(f"job {record.id} already exists")
+        path.mkdir(parents=True)
+        self.save(record)
+
+    def save(self, record: JobRecord) -> None:
+        _atomic_write_json(self.record_path(record.id), record.to_dict())
+
+    def load(self, job_id: str) -> JobRecord:
+        path = self.record_path(job_id)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise KeyError(f"unknown job {job_id!r}") from None
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"job record {path} is corrupt: {exc}") from exc
+        return JobRecord.from_dict(payload)
+
+    def exists(self, job_id: str) -> bool:
+        return self.record_path(job_id).exists()
+
+    def jobs(self) -> Iterator[JobRecord]:
+        """All job records, oldest submission first (ids sort by time)."""
+        for path in sorted(self.jobs_dir.iterdir()):
+            if path.is_dir() and (path / "job.json").exists():
+                yield self.load(path.name)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def save_result(self, job_id: str, payload: dict) -> None:
+        _atomic_write_json(self.result_path(job_id), payload)
+
+    def load_result(self, job_id: str) -> Optional[dict]:
+        path = self.result_path(job_id)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    # ------------------------------------------------------------------
+    # transport surfaces (filesystem client <-> server)
+    # ------------------------------------------------------------------
+    def drop_submission(self, spec: JobSpec, job_id: str) -> Path:
+        """Client side: atomically place a submission in the inbox."""
+        path = self.inbox_dir / f"{job_id}.json"
+        _atomic_write_json(path, {"id": job_id, "spec": spec.to_dict()})
+        return path
+
+    def take_submissions(self) -> List[dict]:
+        """Server side: drain the inbox (each payload has id + spec)."""
+        taken = []
+        for path in sorted(self.inbox_dir.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue  # mid-write or corrupt; retry next poll
+            try:
+                path.unlink()
+            except OSError:
+                continue  # another server instance won the race
+            if isinstance(payload, dict):
+                taken.append(payload)
+        return taken
+
+    def drop_cancel(self, job_id: str) -> Path:
+        path = self.cancel_dir / job_id
+        path.write_text("")
+        return path
+
+    def take_cancels(self) -> List[str]:
+        taken = []
+        for path in sorted(self.cancel_dir.iterdir()):
+            if not path.is_file():
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            taken.append(path.name)
+        return taken
+
+    # ------------------------------------------------------------------
+    # recovery & garbage collection
+    # ------------------------------------------------------------------
+    def recover(self) -> List[JobRecord]:
+        """Jobs a fresh server must put back on the scheduler.
+
+        QUEUED jobs never ran; RUNNING jobs resume from their
+        checkpoint (or from scratch when the crash predated the first
+        flush — same totals either way, the search is deterministic).
+        """
+        pending = []
+        for record in self.jobs():
+            if record.state in (JobState.QUEUED, JobState.RUNNING):
+                pending.append(record)
+        return pending
+
+    def cleanup_job(self, job_id: str) -> None:
+        """Drop the resume state of a terminal job (keep the artifacts)."""
+        CheckpointStore(self.checkpoint_path(job_id)).delete()
+
+    def stale_checkpoints(self) -> List[Path]:
+        """Checkpoints belonging to already-terminal jobs (leaks)."""
+        stale = []
+        for record in self.jobs():
+            if record.state.terminal:
+                path = self.checkpoint_path(record.id)
+                if path.exists():
+                    stale.append(path)
+        return stale
+
+    def sweep_terminal_jobs(self, max_age: float, *,
+                            now: Optional[float] = None) -> List[str]:
+        """Delete whole job directories terminal for over ``max_age`` s."""
+        import shutil
+        import time as time_module
+
+        reference = time_module.time() if now is None else now
+        removed = []
+        for record in self.jobs():
+            finished = record.finished_at
+            if (record.state.terminal and finished is not None
+                    and reference - finished > max_age):
+                shutil.rmtree(self.job_dir(record.id), ignore_errors=True)
+                removed.append(record.id)
+        return removed
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                              default=str) + "\n", encoding="utf-8")
+    os.replace(tmp, path)

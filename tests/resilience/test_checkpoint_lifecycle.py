@@ -1,0 +1,116 @@
+"""CheckpointStore lifecycle: delete, list, sweep_stale.
+
+The checking service creates one checkpoint per job and must retire it
+when the job finalizes; these operations are the primitives the service
+garbage collection leans on.
+"""
+
+import json
+import os
+import time
+
+from repro.resilience.checkpoint import FORMAT_VERSION, CheckpointStore
+
+
+def write_checkpoint(path, *, saved_at=None, state=None):
+    store = CheckpointStore(path)
+    # Mirror ResilienceController.flush_checkpoint: the strategy state
+    # rides under the "state" key of the checkpoint document.
+    store.save({"state": state or {"strategy": "dfs", "frontier": {}}})
+    if saved_at is not None:
+        payload = json.loads(path.read_text())
+        payload["saved_at"] = saved_at
+        path.write_text(json.dumps(payload))
+        os.utime(path, (saved_at, saved_at))
+    return store
+
+
+class TestDelete:
+    def test_delete_removes_checkpoint(self, tmp_path):
+        path = tmp_path / "search.ckpt"
+        store = write_checkpoint(path)
+        assert path.exists()
+        assert store.delete() is True
+        assert not path.exists()
+
+    def test_delete_missing_returns_false(self, tmp_path):
+        assert CheckpointStore(tmp_path / "none.ckpt").delete() is False
+
+    def test_delete_cleans_tmp_sibling(self, tmp_path):
+        path = tmp_path / "search.ckpt"
+        write_checkpoint(path)
+        tmp_sibling = path.with_name(path.name + ".tmp")
+        tmp_sibling.write_text("half a checkpoint")
+        CheckpointStore(path).delete()
+        assert not path.exists()
+        assert not tmp_sibling.exists()
+
+
+class TestList:
+    def test_lists_only_valid_checkpoints(self, tmp_path):
+        write_checkpoint(tmp_path / "a.ckpt")
+        write_checkpoint(tmp_path / "b.ckpt")
+        (tmp_path / "junk.ckpt").write_text("{not json")
+        (tmp_path / "wrong-shape.ckpt").write_text(json.dumps({"x": 1}))
+        (tmp_path / "wrong-format.ckpt").write_text(
+            json.dumps({"format": FORMAT_VERSION + 999, "state": {}}))
+        (tmp_path / "c.ckpt.tmp").write_text("mid write")
+        found = CheckpointStore.list(tmp_path)
+        assert [p.name for p in found] == ["a.ckpt", "b.ckpt"]
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert CheckpointStore.list(tmp_path / "nowhere") == []
+
+    def test_ignores_subdirectories(self, tmp_path):
+        (tmp_path / "subdir").mkdir()
+        write_checkpoint(tmp_path / "a.ckpt")
+        assert len(CheckpointStore.list(tmp_path)) == 1
+
+
+class TestSweepStale:
+    def test_sweeps_only_old_checkpoints(self, tmp_path):
+        now = time.time()
+        write_checkpoint(tmp_path / "old.ckpt", saved_at=now - 1_000)
+        write_checkpoint(tmp_path / "fresh.ckpt", saved_at=now - 10)
+        removed = CheckpointStore.sweep_stale(tmp_path, max_age=500,
+                                              now=now)
+        assert [p.name for p in removed] == ["old.ckpt"]
+        assert not (tmp_path / "old.ckpt").exists()
+        assert (tmp_path / "fresh.ckpt").exists()
+
+    def test_never_touches_foreign_files(self, tmp_path):
+        now = time.time()
+        foreign = tmp_path / "notes.txt"
+        foreign.write_text("do not delete")
+        os.utime(foreign, (now - 9_999, now - 9_999))
+        removed = CheckpointStore.sweep_stale(tmp_path, max_age=1,
+                                              now=now)
+        assert removed == []
+        assert foreign.exists()
+
+    def test_mtime_fallback_when_saved_at_missing(self, tmp_path):
+        now = time.time()
+        path = tmp_path / "legacy.ckpt"
+        path.write_text(json.dumps({"format": FORMAT_VERSION,
+                                    "state": {"strategy": "dfs"}}))
+        os.utime(path, (now - 1_000, now - 1_000))
+        removed = CheckpointStore.sweep_stale(tmp_path, max_age=500,
+                                              now=now)
+        assert removed == [path]
+
+    def test_sweep_of_missing_directory_is_noop(self, tmp_path):
+        assert CheckpointStore.sweep_stale(tmp_path / "gone",
+                                           max_age=1) == []
+
+
+class TestRoundTripAfterLifecycle:
+    def test_save_load_delete_save_again(self, tmp_path):
+        path = tmp_path / "search.ckpt"
+        store = CheckpointStore(path)
+        store.save({"state": {"strategy": "dfs",
+                              "frontier": {"depth": 3}}})
+        assert store.load()["state"]["frontier"]["depth"] == 3
+        store.delete()
+        assert not store.exists()
+        store.save({"state": {"strategy": "bfs", "frontier": {}}})
+        assert store.load()["state"]["strategy"] == "bfs"

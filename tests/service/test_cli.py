@@ -1,0 +1,182 @@
+"""End-to-end CLI: `repro serve` + `repro job ...` as real processes.
+
+This is the acceptance path of the ISSUE: a server process multiplexing
+concurrent mixed-priority jobs over a small fleet, driven entirely
+through the batch client, with --wait exit codes distinguishing
+pass (0) / fail (1) / cancelled (3) / infrastructure failure (4).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def env():
+    merged = dict(os.environ)
+    merged["PYTHONPATH"] = str(REPO / "src")
+    return merged
+
+
+def cli(*args, timeout=120):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=timeout, env=env())
+
+
+@pytest.fixture
+def served(tmp_path):
+    data_dir = tmp_path / "svc"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--data-dir", str(data_dir), "--fleet", "2", "--quantum", "15"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env())
+    # The server creates its directories on boot; wait for that.
+    deadline = time.monotonic() + 30
+    while not (data_dir / "inbox").exists():
+        if process.poll() is not None:
+            raise AssertionError(
+                f"server died on boot: {process.stderr.read()}")
+        if time.monotonic() > deadline:
+            process.kill()
+            raise AssertionError("server never created its data dir")
+        time.sleep(0.05)
+    yield data_dir
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        process.kill()
+
+
+class TestCliRoundTrip:
+    def test_clean_job_exits_zero(self, served):
+        run = cli("job", "submit", "--data-dir", str(served),
+                  "repro.workloads.dining:dining_philosophers",
+                  "-a", "2", "--config", "strategy='dfs'",
+                  "--priority", "smoke", "--wait", "--timeout", "90")
+        assert run.returncode == 0, run.stderr
+        job_id = run.stdout.splitlines()[0].strip()
+        assert "verdict=pass" in run.stdout
+
+        status = cli("job", "status", "--data-dir", str(served), job_id)
+        record = json.loads(status.stdout)
+        assert record["state"] == "done"
+        assert record["executions"] == 42
+
+        result = cli("job", "result", "--data-dir", str(served), job_id)
+        assert json.loads(result.stdout)["verdict"] == "pass"
+
+        listing = cli("job", "list", "--data-dir", str(served))
+        assert job_id in listing.stdout
+
+    def test_buggy_job_exits_one(self, served):
+        run = cli("job", "submit", "--data-dir", str(served),
+                  "repro.workloads.wsq:work_stealing_queue",
+                  "-a", "1", "-a", "1", "-a", "1",
+                  "--config", "strategy='icb'",
+                  "--wait", "--timeout", "120")
+        assert run.returncode == 1, run.stdout + run.stderr
+        assert "verdict=fail" in run.stdout
+
+    def test_cancelled_job_exits_three(self, served):
+        submitted = cli("job", "submit", "--data-dir", str(served),
+                        "repro.workloads.wsq:work_stealing_queue",
+                        "-a", "1", "-a", "1",
+                        "--config", "strategy='dfs'",
+                        "--config", "max_executions=100000",
+                        "--priority", "bulk")
+        job_id = submitted.stdout.strip()
+        assert submitted.returncode == 0
+        cancel = cli("job", "cancel", "--data-dir", str(served), job_id,
+                     "--wait", "--timeout", "90")
+        assert cancel.returncode == 3, cancel.stdout + cancel.stderr
+        assert "cancelled" in cancel.stdout
+
+    def test_broken_program_exits_four(self, served):
+        run = cli("job", "submit", "--data-dir", str(served),
+                  "repro.workloads.missing_module:nope",
+                  "--wait", "--timeout", "60")
+        assert run.returncode == 4, run.stdout + run.stderr
+
+    def test_concurrent_mixed_priority_batch(self, served):
+        """Eight concurrent jobs across priorities over a fleet of 2 —
+        the ISSUE's acceptance scenario — all reach correct verdicts."""
+        jobs = []
+        for i in range(2):
+            big = cli("job", "submit", "--data-dir", str(served),
+                      "repro.workloads.wsq:work_stealing_queue",
+                      "-a", "1", "-a", "1",
+                      "--config", "strategy='dfs'",
+                      "--config", "max_executions=300",
+                      "--priority", "bulk")
+            jobs.append(("pass", big.stdout.strip()))
+        for i in range(3):
+            clean = cli("job", "submit", "--data-dir", str(served),
+                        "repro.workloads.dining:dining_philosophers",
+                        "-a", "2", "--config", "strategy='dfs'",
+                        "--priority", "smoke")
+            jobs.append(("pass", clean.stdout.strip()))
+        for i in range(2):
+            buggy = cli("job", "submit", "--data-dir", str(served),
+                        "repro.workloads.wsq:work_stealing_queue",
+                        "-a", "1", "-a", "1", "-a", "1",
+                        "--config", "strategy='icb'")
+            jobs.append(("fail", buggy.stdout.strip()))
+        livelock = cli("job", "submit", "--data-dir", str(served),
+                       "repro.workloads.dining:"
+                       "dining_philosophers_livelock",
+                       "-a", "2", "--config", "strategy='dfs'")
+        jobs.append(("fail", livelock.stdout.strip()))
+
+        assert len(jobs) == 8
+        for expected, job_id in jobs:
+            assert job_id.startswith("job-"), job_id
+            record = wait_terminal(served, job_id, timeout=300)
+            assert record["state"] == "done", record
+            assert record["verdict"] == expected, (job_id, record)
+
+        metrics = json.loads((served / "metrics.json").read_text())
+        assert metrics["counters"].get("scheduler.starvation", 0) == 0
+
+    def test_watch_streams_events(self, served):
+        submitted = cli("job", "submit", "--data-dir", str(served),
+                        "repro.workloads.dining:dining_philosophers",
+                        "-a", "2", "--config", "strategy='dfs'")
+        job_id = submitted.stdout.strip()
+        watch = cli("job", "watch", "--data-dir", str(served), job_id,
+                    "--timeout", "90")
+        assert watch.returncode == 0, watch.stderr
+        kinds = {json.loads(line)["type"]
+                 for line in watch.stdout.splitlines() if line.strip()}
+        assert "job.state" in kinds
+        assert "job.quantum" in kinds
+
+
+def wait_terminal(data_dir, job_id, *, timeout):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = cli("job", "status", "--data-dir", str(data_dir), job_id)
+        if status.returncode == 0:
+            record = json.loads(status.stdout)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+        time.sleep(0.3)
+    raise AssertionError(f"job {job_id} not terminal after {timeout}s")
+
+
+class TestTransportValidation:
+    def test_requires_exactly_one_transport(self, tmp_path):
+        neither = cli("job", "list")
+        assert neither.returncode != 0
+        both = cli("job", "list", "--data-dir", str(tmp_path),
+                   "--url", "http://localhost:1")
+        assert both.returncode != 0

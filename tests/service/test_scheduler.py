@@ -1,0 +1,236 @@
+"""Unit tests for the inter-job DWRR scheduler.
+
+These drive the scheduler synchronously (single thread, explicit
+``next_job`` calls) so dispatch order is fully deterministic; the
+threaded behavior is covered by the server tests.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.service import JobScheduler, TokenBucket
+
+
+def drain(scheduler, count):
+    order = []
+    for _ in range(count):
+        job = scheduler.next_job(timeout=0.1)
+        if job is None:
+            break
+        order.append(job)
+    return order
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=lambda: clock[0])
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()  # burst exhausted
+        clock[0] = 1.0
+        assert bucket.try_acquire()  # one token back per second
+        assert not bucket.try_acquire()
+
+    def test_never_exceeds_burst(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=lambda: clock[0])
+        clock[0] = 100.0
+        grabbed = sum(bucket.try_acquire() for _ in range(10))
+        assert grabbed == 3
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=-1)
+
+
+class TestDwrrDispatch:
+    def test_single_class_round_robins(self):
+        sched = JobScheduler()
+        for name in ("a", "b", "c"):
+            sched.submit(name, "default", "cli")
+        order = []
+        for _ in range(6):
+            job = sched.next_job(timeout=0.1)
+            order.append(job)
+            sched.requeue(job)
+        assert order == ["a", "b", "c", "a", "b", "c"]
+
+    def test_weighted_ratio_across_classes(self):
+        sched = JobScheduler()
+        sched.submit("smoke-1", "smoke", "cli")
+        sched.submit("default-1", "default", "cli")
+        sched.submit("bulk-1", "bulk", "cli")
+        counts = {"smoke-1": 0, "default-1": 0, "bulk-1": 0}
+        for _ in range(100):
+            job = sched.next_job(timeout=0.1)
+            counts[job] += 1
+            sched.requeue(job)
+        # DWRR replenishes 6:3:1, so over 10 dispatches each cycle the
+        # ratio is exact.
+        assert counts["smoke-1"] == 60
+        assert counts["default-1"] == 30
+        assert counts["bulk-1"] == 10
+
+    def test_empty_class_forfeits_deficit(self):
+        sched = JobScheduler()
+        sched.submit("bulk-1", "bulk", "cli")
+        # Bulk alone gets every quantum (no hoarded smoke credit later).
+        assert drain_with_requeue(sched, 5) == ["bulk-1"] * 5
+        sched.submit("smoke-1", "smoke", "cli")
+        counts = {"smoke-1": 0, "bulk-1": 0}
+        for _ in range(14):
+            job = sched.next_job(timeout=0.1)
+            counts[job] += 1
+            sched.requeue(job)
+        assert counts["smoke-1"] == 12
+        assert counts["bulk-1"] == 2
+
+    def test_finish_removes_queued_job(self):
+        sched = JobScheduler()
+        sched.submit("a", "default", "cli")
+        sched.submit("b", "default", "cli")
+        sched.finish("a")  # cancelled while still queued
+        assert sched.next_job(timeout=0.1) == "b"
+        assert sched.pending() == 0
+
+    def test_duplicate_submit_rejected(self):
+        sched = JobScheduler()
+        sched.submit("a", "default", "cli")
+        with pytest.raises(ValueError):
+            sched.submit("a", "default", "cli")
+
+    def test_unknown_priority_rejected(self):
+        sched = JobScheduler()
+        with pytest.raises(ValueError):
+            sched.submit("a", "urgent", "cli")
+
+    def test_custom_weights(self):
+        sched = JobScheduler(weights={"fast": 3, "slow": 1})
+        sched.submit("f", "fast", "cli")
+        sched.submit("s", "slow", "cli")
+        counts = {"f": 0, "s": 0}
+        for _ in range(8):
+            job = sched.next_job(timeout=0.1)
+            counts[job] += 1
+            sched.requeue(job)
+        assert counts == {"f": 6, "s": 2}
+
+
+def drain_with_requeue(sched, count):
+    order = []
+    for _ in range(count):
+        job = sched.next_job(timeout=0.1)
+        order.append(job)
+        sched.requeue(job)
+    return order
+
+
+class TestStarvationInvariant:
+    def test_wait_bound_never_violated_under_load(self):
+        metrics = MetricsRegistry()
+        sched = JobScheduler(metrics=metrics)
+        # One hungry bulk job plus a stream of smoke jobs: every smoke
+        # dispatch must land within its DWRR bound.
+        sched.submit("bulk-1", "bulk", "batch")
+        for i in range(20):
+            sched.submit(f"smoke-{i}", "smoke", "cli")
+        for _ in range(400):
+            job = sched.next_job(timeout=0.1)
+            sched.requeue(job)
+        assert metrics.counter("scheduler.starvation").value == 0
+        assert metrics.counter("scheduler.quanta").value == 400
+        hist = metrics.histogram("scheduler.wait_quanta")
+        assert hist.count == 400
+
+    def test_smoke_waits_bounded_with_deep_bulk_backlog(self):
+        metrics = MetricsRegistry()
+        sched = JobScheduler(metrics=metrics)
+        for i in range(50):
+            sched.submit(f"bulk-{i}", "bulk", "batch")
+        # Warm the rotation, then inject a smoke job late.
+        for _ in range(30):
+            sched.requeue(sched.next_job(timeout=0.1))
+        sched.submit("smoke-1", "smoke", "cli")
+        waited = 0
+        while True:
+            job = sched.next_job(timeout=0.1)
+            if job == "smoke-1":
+                break
+            waited += 1
+            sched.requeue(job)
+        # One replenish cycle dispatches at most sum(weights) quanta.
+        assert waited <= 10
+        assert metrics.counter("scheduler.starvation").value == 0
+
+
+class TestAdmissionControl:
+    def test_rate_limit_charges_per_client(self):
+        clock = [0.0]
+        sched = JobScheduler(submit_rate=1.0, submit_burst=2.0,
+                             clock=lambda: clock[0])
+        assert sched.try_admit_rate("alice")
+        assert sched.try_admit_rate("alice")
+        assert not sched.try_admit_rate("alice")
+        assert sched.try_admit_rate("bob")  # separate bucket
+        clock[0] = 5.0
+        assert sched.try_admit_rate("alice")
+
+    def test_per_client_cap_backlogs_excess(self):
+        sched = JobScheduler(max_active_per_client=1)
+        sched.submit("a1", "default", "alice")
+        sched.submit("a2", "default", "alice")
+        sched.submit("b1", "default", "bob")
+        # Only a1 and b1 are runnable; a2 waits for alice's slot.
+        first_round = set(drain(sched, 3))
+        assert first_round == {"a1", "b1"}
+        sched.finish("a1")
+        assert sched.next_job(timeout=0.1) == "a2"
+
+    def test_backlogged_job_can_be_finished(self):
+        sched = JobScheduler(max_active_per_client=1)
+        sched.submit("a1", "default", "alice")
+        sched.submit("a2", "default", "alice")
+        sched.finish("a2")  # cancel straight out of the backlog
+        sched.finish("a1")
+        assert sched.pending() == 0
+        assert sched.snapshot() == []
+
+    def test_unlimited_without_configuration(self):
+        sched = JobScheduler()
+        assert sched.try_admit_rate("anyone")
+        for i in range(10):
+            sched.submit(f"j{i}", "default", "one-client")
+        assert len(drain(sched, 10)) == 10
+
+
+class TestLifecycle:
+    def test_close_wakes_blocked_worker(self):
+        sched = JobScheduler()
+        got = []
+
+        def worker():
+            got.append(sched.next_job(timeout=5.0))
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        sched.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert got == [None]
+
+    def test_timeout_returns_none(self):
+        sched = JobScheduler()
+        assert sched.next_job(timeout=0.05) is None
+
+    def test_queue_lengths_snapshot(self):
+        sched = JobScheduler()
+        sched.submit("a", "smoke", "cli")
+        sched.submit("b", "bulk", "cli")
+        assert sched.queue_lengths() == {"smoke": 1, "default": 0,
+                                         "bulk": 1}
+        assert sched.snapshot() == ["a", "b"]

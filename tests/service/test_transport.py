@@ -1,0 +1,262 @@
+"""Transports and server behavior: filesystem client, HTTP client,
+cancellation, failure isolation, rate limiting, event streams."""
+
+import json
+import time
+
+import pytest
+
+from repro.service import (
+    CheckServer,
+    JobSpec,
+    JobState,
+    RateLimitedError,
+)
+from repro.service.client import (
+    FilesystemClient,
+    HttpClient,
+    ServiceClientError,
+    make_client,
+)
+from repro.service.http_api import ServiceHttpServer
+
+CLEAN = dict(program="repro.workloads.dining:dining_philosophers",
+             factory_args=["2"], config={"strategy": "dfs"})
+SLOW = dict(program="repro.workloads.wsq:work_stealing_queue",
+            factory_args=["1", "1"],
+            config={"strategy": "dfs", "max_executions": 100_000})
+
+
+@pytest.fixture
+def server(tmp_path):
+    instance = CheckServer(tmp_path / "svc", fleet=2,
+                           quantum_executions=15, poll_interval=0.05)
+    instance.start()
+    yield instance
+    instance.stop()
+
+
+class TestFilesystemTransport:
+    def test_submit_wait_result(self, server):
+        client = FilesystemClient(server.store.root)
+        job_id = client.submit(JobSpec(**CLEAN))
+        final = client.wait(job_id, timeout=60)
+        assert final["state"] == "done"
+        assert final["verdict"] == "pass"
+        result = client.result(job_id)
+        assert result["executions"] == 42
+        assert job_id in [r["id"] for r in client.list_jobs()]
+
+    def test_cancel_through_inbox(self, server):
+        client = FilesystemClient(server.store.root)
+        job_id = client.submit(JobSpec(**SLOW, priority="bulk"))
+        # Wait for admission + some progress, then cancel.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            try:
+                if client.status(job_id)["executions"] > 0:
+                    break
+            except KeyError:
+                pass
+            time.sleep(0.05)
+        client.cancel(job_id)
+        final = client.wait(job_id, timeout=60)
+        assert final["state"] == "cancelled"
+        # Cancelled jobs leave no resume state behind.
+        assert not server.store.checkpoint_path(job_id).exists()
+
+    def test_invalid_submission_becomes_failed_record(self, server):
+        client = FilesystemClient(server.store.root)
+        store = client.store
+        bad = JobSpec(program="repro.workloads.dining:dining_philosophers",
+                      priority="not-a-priority")
+        job_id = "job-bad-priority"
+        store.drop_submission(bad, job_id)
+        final = client.wait(job_id, timeout=30)
+        assert final["state"] == "failed"
+        assert "priority" in final["error"]
+
+    def test_unresolvable_program_fails_job(self, server):
+        client = FilesystemClient(server.store.root)
+        job_id = client.submit(JobSpec(
+            program="repro.workloads.nothing:missing",
+            config={"strategy": "dfs"}))
+        final = client.wait(job_id, timeout=30)
+        assert final["state"] == "failed"
+        assert "cannot import" in final["error"]
+        # Infrastructure failure is isolated: the server keeps serving.
+        ok = client.submit(JobSpec(**CLEAN))
+        assert client.wait(ok, timeout=60)["verdict"] == "pass"
+
+    def test_crashing_factory_fails_job(self, server):
+        client = FilesystemClient(server.store.root)
+        job_id = client.submit(JobSpec(
+            program="repro.workloads.dining:dining_philosophers",
+            factory_args=["-3"],  # ValueError inside the factory
+            config={"strategy": "dfs"}))
+        final = client.wait(job_id, timeout=30)
+        assert final["state"] == "failed"
+
+    def test_watch_streams_lifecycle_events(self, server):
+        client = FilesystemClient(server.store.root)
+        job_id = client.submit(JobSpec(**CLEAN))
+        events = list(client.watch(job_id, timeout=60))
+        kinds = {e["type"] for e in events}
+        assert "job.submitted" in kinds
+        assert "job.state" in kinds
+        assert "job.quantum" in kinds
+        assert "exploration.finished" in kinds
+        # lifecycle stream keeps the tail light: no per-decision spam.
+        assert "scheduling.decision" not in kinds
+        states = [e["state"] for e in events if e["type"] == "job.state"]
+        assert states[-1] == "done"
+
+
+class TestHttpTransport:
+    @pytest.fixture
+    def http(self, server):
+        facade = ServiceHttpServer(server, port=0)
+        facade.start()
+        yield facade
+        facade.stop()
+
+    def test_submit_status_result_cancel(self, server, http):
+        client = HttpClient(http.url)
+        job_id = client.submit(JobSpec(**CLEAN, priority="smoke"))
+        final = client.wait(job_id, timeout=60)
+        assert final["state"] == "done"
+        assert client.result(job_id)["verdict"] == "pass"
+        assert any(r["id"] == job_id for r in client.list_jobs())
+
+        slow = client.submit(JobSpec(**SLOW, priority="bulk"))
+        client.cancel(slow)
+        assert client.wait(slow, timeout=60)["state"] == "cancelled"
+
+    def test_watch_over_http(self, server, http):
+        client = HttpClient(http.url)
+        job_id = client.submit(JobSpec(**CLEAN))
+        events = list(client.watch(job_id, timeout=60))
+        assert {e["type"] for e in events} >= {"job.submitted",
+                                               "job.state"}
+
+    def test_unknown_job_is_404(self, server, http):
+        client = HttpClient(http.url)
+        with pytest.raises(KeyError):
+            client.status("job-does-not-exist")
+        assert client.result("job-does-not-exist") is None
+
+    def test_bad_spec_is_400(self, server, http):
+        client = HttpClient(http.url)
+        with pytest.raises(ServiceClientError, match="400"):
+            client._request("POST", "/v1/jobs",
+                            {"spec": {"program": "no-colon"}})
+
+    def test_health_and_metrics(self, server, http):
+        client = HttpClient(http.url)
+        health = client.health()
+        assert health["fleet"] == 2
+        assert "starvation" in health
+        metrics = client._request("GET", "/metrics")
+        assert "counters" in metrics
+
+    def test_unreachable_server_raises_client_error(self):
+        client = HttpClient("http://127.0.0.1:9", request_timeout=0.5)
+        with pytest.raises(ServiceClientError, match="cannot reach"):
+            client.list_jobs()
+
+
+class TestRateLimiting:
+    def test_http_submit_gets_429(self, tmp_path):
+        server = CheckServer(tmp_path / "svc", fleet=1,
+                             quantum_executions=10,
+                             submit_rate=0.001, submit_burst=2.0)
+        server.start()
+        http = ServiceHttpServer(server, port=0)
+        http.start()
+        try:
+            client = HttpClient(http.url)
+            spec = JobSpec(**SLOW, priority="bulk", client="greedy")
+            client.submit(spec)
+            client.submit(spec)
+            with pytest.raises(RateLimitedError):
+                client.submit(spec)
+            # A different client has its own bucket.
+            other = JobSpec(**CLEAN, client="patient")
+            client.submit(other)
+        finally:
+            http.stop()
+            server.stop()
+
+    def test_inprocess_submit_raises(self, tmp_path):
+        server = CheckServer(tmp_path / "svc", submit_rate=0.001,
+                             submit_burst=1.0)
+        server.submit(JobSpec(**CLEAN, client="c"))
+        with pytest.raises(RateLimitedError):
+            server.submit(JobSpec(**CLEAN, client="c"))
+        server.stop()
+
+    def test_per_client_cap_defers_not_rejects(self, tmp_path):
+        server = CheckServer(tmp_path / "svc", fleet=1,
+                             quantum_executions=15,
+                             max_active_per_client=1, poll_interval=0.05)
+        a = server.submit(JobSpec(**CLEAN, client="solo"))
+        b = server.submit(JobSpec(**CLEAN, client="solo"))
+        server.start()
+        try:
+            assert server.wait(a.id, timeout=60).verdict == "pass"
+            assert server.wait(b.id, timeout=60).verdict == "pass"
+        finally:
+            server.stop()
+        counters = server.metrics.to_dict()["counters"]
+        assert counters.get("scheduler.deferred", 0) == 1
+
+
+class TestMakeClient:
+    def test_requires_exactly_one_coordinate(self, tmp_path):
+        with pytest.raises(ValueError):
+            make_client()
+        with pytest.raises(ValueError):
+            make_client(data_dir=tmp_path, url="http://x")
+        assert isinstance(make_client(data_dir=tmp_path),
+                          FilesystemClient)
+        assert isinstance(make_client(url="http://localhost:1"),
+                          HttpClient)
+
+
+class TestServerHousekeeping:
+    def test_metrics_dumped_to_data_dir(self, tmp_path):
+        server = CheckServer(tmp_path / "svc", fleet=1,
+                             quantum_executions=15)
+        record = server.submit(JobSpec(**CLEAN))
+        server.run_until_idle(timeout=60)
+        server.stop()
+        payload = json.loads((server.store.root / "metrics.json")
+                             .read_text())
+        assert payload["counters"]["jobs.submitted"] == 1
+        assert payload["counters"]["jobs.done"] == 1
+        assert payload["counters"].get("scheduler.starvation", 0) == 0
+        assert server.job(record.id).state is JobState.DONE
+
+    def test_no_leaked_checkpoints_after_batch(self, tmp_path):
+        server = CheckServer(tmp_path / "svc", fleet=2,
+                             quantum_executions=10)
+        records = [server.submit(JobSpec(**CLEAN, priority=p))
+                   for p in ("smoke", "default", "bulk")]
+        server.run_until_idle(timeout=120)
+        server.stop()
+        for record in records:
+            assert server.job(record.id).state is JobState.DONE
+        assert server.store.stale_checkpoints() == []
+
+    def test_retention_sweeps_old_terminal_jobs(self, tmp_path):
+        server = CheckServer(tmp_path / "svc", fleet=1,
+                             quantum_executions=15,
+                             retention_seconds=0.0, poll_interval=0.05)
+        record = server.submit(JobSpec(**CLEAN))
+        server.run_until_idle(timeout=60)
+        deadline = time.monotonic() + 10
+        while (server.store.exists(record.id)
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        server.stop()
+        assert not server.store.exists(record.id)
