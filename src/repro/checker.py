@@ -52,10 +52,10 @@ from repro.engine.strategies import (
     merge_sweeps,
 )
 from repro.resilience import (
+    CheckpointStore,
     GracefulStop,
     ResilienceController,
     ResilienceOptions,
-    load_checkpoint,
 )
 
 #: Back-compat alias (the merge logic moved to the strategies package).
@@ -184,6 +184,8 @@ class Checker:
         snapshot_interval: int = 16,
         snapshot_memory_mb: int = 64,
         external_stop=None,
+        heartbeat_interval: float = 0.5,
+        wedge_timeout: Optional[float] = 30.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -197,6 +199,12 @@ class Checker:
         #: behavior; see docs/parallel.md).
         self.workers = workers
         self.shard_target = shard_target
+        #: Seconds between worker liveness heartbeats and the silence
+        #: threshold after which a worker counts as *wedged* (SIGSTOP,
+        #: livelock) and is killed + its shard requeued.  ``None``
+        #: disables wedge detection (docs/parallel.md).
+        self.heartbeat_interval = heartbeat_interval
+        self.wedge_timeout = wedge_timeout
         self.fairness = fairness
         #: Optional :class:`repro.obs.Observer`; None (the default) keeps
         #: the exploration hot path free of telemetry work.
@@ -312,14 +320,9 @@ class Checker:
             if self.external_stop is not None:
                 controller.attach_stop(self.external_stop)
         strategy = self._make_strategy(resilience=controller)
+        resume_warnings: List[str] = []
         if resume_from is not None:
-            payload = load_checkpoint(resume_from)
-            recorded = payload.get("program")
-            if recorded not in (None, self.program.name):
-                raise ValueError(
-                    f"checkpoint was recorded for program {recorded!r}, "
-                    f"got {self.program.name!r}"
-                )
+            payload, resume_warnings = self._load_resume(resume_from)
             strategy.load_state_dict(payload["state"])
 
         with self._search_span():
@@ -340,8 +343,38 @@ class Checker:
         return CheckResult(
             program_name=self.program.name,
             exploration=exploration,
-            warnings=self._build_warnings(exploration),
+            warnings=self._build_warnings(exploration,
+                                          extra=resume_warnings),
         )
+
+    def _load_resume(self, resume_from: str):
+        """Load a resume checkpoint, surviving a corrupt primary.
+
+        A truncated or corrupt checkpoint is quarantined and the
+        previous rotation snapshot loaded instead (``checkpoint.
+        recovered`` event + a result warning); only a checkpoint with
+        *no* loadable snapshot at all raises.
+        """
+        store = CheckpointStore(resume_from)
+        payload, recovered, quarantined = store.load_or_recover()
+        warnings: List[str] = []
+        if recovered:
+            note = (f"checkpoint {resume_from} was corrupt; resumed from "
+                    f"the previous snapshot")
+            if quarantined is not None:
+                note += f" (bad file quarantined at {quarantined})"
+            warnings.append(note)
+            if self.observer is not None:
+                self.observer.checkpoint_recovered(
+                    str(resume_from),
+                    str(quarantined) if quarantined else None)
+        recorded = payload.get("program")
+        if recorded not in (None, self.program.name):
+            raise ValueError(
+                f"checkpoint was recorded for program {recorded!r}, "
+                f"got {self.program.name!r}"
+            )
+        return payload, warnings
 
     def _search_span(self):
         """Wall-clock span around the whole search (Chrome-trace export
@@ -406,15 +439,12 @@ class Checker:
             observer=self.observer,
             resilience=controller,
             resilience_options=options,
+            heartbeat_interval=self.heartbeat_interval,
+            wedge_timeout=self.wedge_timeout,
         )
+        resume_warnings: List[str] = []
         if resume_from is not None:
-            payload = load_checkpoint(resume_from)
-            recorded = payload.get("program")
-            if recorded not in (None, self.program.name):
-                raise ValueError(
-                    f"checkpoint was recorded for program {recorded!r}, "
-                    f"got {self.program.name!r}"
-                )
+            payload, resume_warnings = self._load_resume(resume_from)
             coordinator.load_state_dict(payload["state"])
 
         with self._search_span():
@@ -429,8 +459,9 @@ class Checker:
         return CheckResult(
             program_name=self.program.name,
             exploration=exploration,
-            warnings=self._build_warnings(exploration,
-                                          extra=coordinator.warnings),
+            warnings=self._build_warnings(
+                exploration,
+                extra=resume_warnings + coordinator.warnings),
         )
 
     # ------------------------------------------------------------------

@@ -398,6 +398,32 @@ def _cmd_bench_compare(options: argparse.Namespace) -> int:
     return comparison.exit_code
 
 
+def _cmd_chaos(options: argparse.Namespace) -> int:
+    """Run the seeded fault matrix (and optionally the torture sweep)."""
+    from repro.chaos.harness import SCENARIOS, run_matrix
+
+    if options.list_scenarios:
+        for name in SCENARIOS:
+            print(name)
+        return 0
+    try:
+        matrix = run_matrix(seed=options.seed,
+                            only=options.scenarios or None)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(matrix.summary())
+    exit_code = matrix.exit_code
+    if options.torture:
+        from repro.chaos.torture import run_torture
+
+        print("\ncrash-consistency torture:")
+        for result in run_torture(prefix_stride=options.torture_stride):
+            print(result.describe())
+            if not result.ok:
+                exit_code = 1
+    return exit_code
+
+
 def _cmd_serve(options: argparse.Namespace) -> int:
     from repro.service import CheckServer
     from repro.service.http_api import ServiceHttpServer
@@ -411,16 +437,23 @@ def _cmd_serve(options: argparse.Namespace) -> int:
                 weights[name] = int(value)
             except ValueError:
                 raise SystemExit(f"bad --weight {raw!r}; expected class=N")
-    server = CheckServer(
-        options.data_dir,
-        fleet=options.fleet,
-        quantum_executions=options.quantum,
-        weights=weights,
-        max_active_per_client=options.max_active_per_client,
-        submit_rate=options.submit_rate,
-        submit_burst=options.submit_burst,
-        retention_seconds=options.retention,
-    )
+    try:
+        server = CheckServer(
+            options.data_dir,
+            fleet=options.fleet,
+            quantum_executions=options.quantum,
+            weights=weights,
+            max_active_per_client=options.max_active_per_client,
+            submit_rate=options.submit_rate,
+            submit_burst=options.submit_burst,
+            retention_seconds=options.retention,
+        )
+    except OSError as exc:
+        # An unwritable jobs directory must be a loud boot failure, not
+        # a server that idles while silently losing every submission.
+        print(f"error: jobs directory {options.data_dir!r} is not "
+              f"writable: {exc}", file=sys.stderr, flush=True)
+        return 2
     http_server = None
     if options.http is not None:
         http_server = ServiceHttpServer(server, host=options.http_host,
@@ -590,6 +623,27 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     demos_parser = sub.add_parser("demos", help="list built-in demos")
     demos_parser.set_defaults(func=_cmd_demos)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection matrix (docs/resilience.md)")
+    chaos_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="derives every fault trigger; same seed = same faults")
+    chaos_parser.add_argument(
+        "--scenario", action="append", default=[], dest="scenarios",
+        help="run only this scenario (repeatable; default: all)")
+    chaos_parser.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list the scenarios and exit")
+    chaos_parser.add_argument(
+        "--torture", action="store_true",
+        help="also run the crash-consistency torture sweep (replays "
+             "every prefix of the write sequence for every strategy)")
+    chaos_parser.add_argument(
+        "--torture-stride", type=int, default=1,
+        help="check every N-th write-sequence prefix (default: all)")
+    chaos_parser.set_defaults(func=_cmd_chaos)
 
     profile_parser = sub.add_parser(
         "profile", help="profiling reports (docs/profiling.md)")

@@ -20,12 +20,12 @@ recorded name and decision count.
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import asdict
 from pathlib import Path
 from typing import Optional, Union
 
 from repro.core.model import Program
+from repro.durableio import atomic_write_text
 from repro.core.policies import PolicyFactory
 from repro.engine.executor import ExecutorConfig
 from repro.engine.replay import replay_schedule
@@ -71,9 +71,11 @@ def save_schedule(path: Union[str, Path], program: Program,
                   config: Optional[ExecutorConfig] = None) -> Path:
     """Write a repro file; returns the path.
 
-    The write is atomic (temp file + rename in the same directory), so a
-    crash or SIGKILL mid-write can never leave a truncated repro file
-    behind — the previous file, if any, survives intact.
+    The write goes through :func:`repro.durableio.atomic_write` (temp
+    file + fsync + rename + directory fsync), so a crash or SIGKILL at
+    any instant can never leave a truncated repro file behind and a
+    returned path means the file survives kill -9 — the previous file,
+    if any, survives intact.
     """
     path = Path(path)
     text = json.dumps(
@@ -81,9 +83,7 @@ def save_schedule(path: Union[str, Path], program: Program,
                          config=config),
         indent=2, sort_keys=True,
     ) + "\n"
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text)
-    os.replace(tmp, path)
+    atomic_write_text(path, text, label="schedule")
     return path
 
 

@@ -118,6 +118,17 @@ class Aggregator:
         if (self.limits.stop_on_first_divergence
                 and record.outcome is Outcome.DIVERGENCE):
             return "divergence"
+        return self.limit_reached()
+
+    def limit_reached(self) -> Optional[str]:
+        """Resource limits already satisfied by the accumulated counts.
+
+        Also consulted at loop *entry*: a checkpoint snapshotted the
+        moment a count limit fired restores an aggregator that is
+        already at its cap, and resuming it must stop before running
+        anything — not overshoot by one execution.
+        """
+        res = self.result
         if (self.limits.max_crashes is not None
                 and res.outcomes[Outcome.CRASHED] >= self.limits.max_crashes):
             return "max-crashes"
@@ -295,10 +306,12 @@ class SearchStrategy:
             self._pending_aggregator_state = None
 
         resilience = self.resilience
-        stop_reason: Optional[str] = None
+        # Restored counters can already sit at a limit (final checkpoint
+        # of a limit-stopped run); honor it before the first execution.
+        stop_reason: Optional[str] = aggregator.limit_reached()
         exhausted = False
         try:
-            while True:
+            while stop_reason is None:
                 if not self._has_work():
                     exhausted = True
                     break

@@ -17,10 +17,13 @@ See ``docs/observability.md`` for the event schema and metric names.
 from repro.obs.events import (
     Backtrack,
     CallbackSink,
+    CheckpointRecovered,
+    CheckpointWriteFailed,
     CheckpointWritten,
     CollectingSink,
     CrashQuarantined,
     DivergenceClassified,
+    FaultInjected,
     Event,
     EventSink,
     ExecutionAborted,
@@ -38,6 +41,7 @@ from repro.obs.events import (
     ThreadLeaked,
     ViolationFound,
     WorkerCrashed,
+    WorkerWedged,
     event_from_dict,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -49,11 +53,14 @@ from repro.obs.trace import JsonlTraceWriter, read_jsonl, schedule_from_events
 __all__ = [
     "Backtrack",
     "CallbackSink",
+    "CheckpointRecovered",
+    "CheckpointWriteFailed",
     "CheckpointWritten",
     "CollectingSink",
     "Counter",
     "CrashQuarantined",
     "DivergenceClassified",
+    "FaultInjected",
     "Event",
     "EventSink",
     "ExecutionAborted",
@@ -69,6 +76,7 @@ __all__ = [
     "ShardStarted",
     "ThreadLeaked",
     "WorkerCrashed",
+    "WorkerWedged",
     "JsonlTraceWriter",
     "MetricsRegistry",
     "MultiSink",

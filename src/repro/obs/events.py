@@ -246,6 +246,52 @@ class WorkerCrashed(Event):
 
 
 @dataclass(frozen=True)
+class FaultInjected(Event):
+    """The chaos plane fired one injected fault (docs/resilience.md)."""
+
+    type: ClassVar[str] = "fault.injected"
+
+    point: str  # fault-point name, e.g. "checkpoint.write"
+    kind: str  # fault kind, e.g. "torn-write"
+    hit: int  # 1-based hit count of the point when it fired
+
+
+@dataclass(frozen=True)
+class WorkerWedged(Event):
+    """A worker stopped heartbeating (SIGSTOP, livelock) and was killed;
+    its shard was requeued like a crashed worker's."""
+
+    type: ClassVar[str] = "worker.wedged"
+
+    worker: int
+    shard: int  # -1 when the worker was idle
+    silent_seconds: float  # time since its last heartbeat
+    requeued: bool
+
+
+@dataclass(frozen=True)
+class CheckpointRecovered(Event):
+    """A corrupt/truncated checkpoint was quarantined and the previous
+    snapshot loaded in its place."""
+
+    type: ClassVar[str] = "checkpoint.recovered"
+
+    path: str  # the checkpoint that failed to load
+    quarantined: Optional[str]  # where the bad file was moved, if it was
+
+
+@dataclass(frozen=True)
+class CheckpointWriteFailed(Event):
+    """The disk refused a checkpoint write (ENOSPC, EIO); the search
+    degraded to its last good snapshot instead of dying."""
+
+    type: ClassVar[str] = "checkpoint.write_failed"
+
+    path: str
+    error: str
+
+
+@dataclass(frozen=True)
 class JobSubmitted(Event):
     """A checking job was admitted by the service (docs/service.md)."""
 
@@ -304,6 +350,10 @@ EVENT_TYPES: Dict[str, type] = {
         ShardStarted,
         ShardFinished,
         WorkerCrashed,
+        FaultInjected,
+        WorkerWedged,
+        CheckpointRecovered,
+        CheckpointWriteFailed,
         JobSubmitted,
         JobStateChanged,
         JobQuantumFinished,

@@ -32,8 +32,11 @@ from typing import Optional
 
 from repro.obs.events import (
     Backtrack,
+    CheckpointRecovered,
+    CheckpointWriteFailed,
     CheckpointWritten,
     CrashQuarantined,
+    FaultInjected,
     DivergenceClassified,
     EventSink,
     ExecutionAborted,
@@ -50,6 +53,7 @@ from repro.obs.events import (
     ThreadLeaked,
     ViolationFound,
     WorkerCrashed,
+    WorkerWedged,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.progress import ProgressReporter
@@ -265,6 +269,27 @@ class Observer:
             self.sink.emit(CheckpointWritten(path=path,
                                              executions=executions))
 
+    def checkpoint_recovered(self, path: str,
+                             quarantined: Optional[str]) -> None:
+        """A corrupt checkpoint fell back to its ``.prev`` snapshot."""
+        self.metrics.counter("checkpoints.recovered").inc()
+        if self.sink is not None:
+            self.sink.emit(CheckpointRecovered(path=path,
+                                               quarantined=quarantined))
+
+    def checkpoint_write_failed(self, path: str, error: str) -> None:
+        """A checkpoint write hit a disk error and was degraded."""
+        self.metrics.counter("checkpoints.write_failed").inc()
+        if self.sink is not None:
+            self.sink.emit(CheckpointWriteFailed(path=path, error=error))
+
+    def fault_injected(self, point: str, kind: str, hit: int) -> None:
+        """The chaos plane fired one injected fault."""
+        self.metrics.counter("faults.injected").inc()
+        self.metrics.counter(f"faults.injected.{kind}").inc()
+        if self.sink is not None:
+            self.sink.emit(FaultInjected(point=point, kind=kind, hit=hit))
+
     def execution_aborted(self, step: int, reason: str) -> None:
         self.metrics.counter("executions.aborted").inc()
         if self.sink is not None:
@@ -312,6 +337,15 @@ class Observer:
         if self.sink is not None:
             self.sink.emit(WorkerCrashed(worker=worker, shard=shard,
                                          requeued=requeued))
+
+    def worker_wedged(self, worker: int, shard: int,
+                      silent_seconds: float, requeued: bool) -> None:
+        """A heartbeat-silent worker was killed and its shard requeued."""
+        self.metrics.counter("workers.wedged").inc()
+        if self.sink is not None:
+            self.sink.emit(WorkerWedged(worker=worker, shard=shard,
+                                        silent_seconds=silent_seconds,
+                                        requeued=requeued))
 
     # ------------------------------------------------------------------
     # coverage hooks

@@ -21,9 +21,11 @@ the stop event), exactly as a serial early stop depends on where the
 violation sits in visit order.
 
 Failure semantics (docs/parallel.md): a worker that dies mid-shard is
-replaced and its shard requeued; a shard that kills its worker
-``max_shard_attempts`` times is quarantined (surfaced as a warning and
-an incomplete merged result).  First violation wins: the winning
+replaced (with exponential backoff under repeated deaths) and its shard
+requeued; a worker that stops *heartbeating* — SIGSTOPped, livelocked —
+is detected by the wedge timeout, SIGKILLed, and treated exactly like a
+crash; a shard that kills its worker ``max_shard_attempts`` times is
+quarantined (surfaced as a warning and an incomplete merged result).  First violation wins: the winning
 worker's shard stops via its own limits, everyone else drains on the
 shared stop event.
 """
@@ -61,6 +63,17 @@ DEFAULT_MAX_SHARD_ATTEMPTS = 2
 
 #: Seconds the coordinator waits for in-flight shards after a stop.
 _DRAIN_SECONDS = 30.0
+
+#: Default seconds between worker heartbeats / of heartbeat silence
+#: before a worker counts as wedged.
+DEFAULT_HEARTBEAT_INTERVAL = 0.5
+DEFAULT_WEDGE_TIMEOUT = 30.0
+
+#: Exponential-backoff schedule for worker respawns: first replacement
+#: is immediate (a lone crash shouldn't stall the pool), repeated deaths
+#: back off up to the cap so a crash-looping workload can't fork-bomb.
+_RESPAWN_BACKOFF_START = 0.1
+_RESPAWN_BACKOFF_CAP = 5.0
 
 #: Strategies the coordinator knows how to shard.
 PARALLEL_STRATEGIES = ("dfs", "icb", "bfs", "random", "por")
@@ -112,6 +125,8 @@ class ParallelCoordinator:
         resilience=None,
         resilience_options=None,
         max_shard_attempts: int = DEFAULT_MAX_SHARD_ATTEMPTS,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        wedge_timeout: Optional[float] = DEFAULT_WEDGE_TIMEOUT,
     ) -> None:
         if strategy not in PARALLEL_STRATEGIES:
             raise ValueError(
@@ -135,6 +150,14 @@ class ParallelCoordinator:
         self.resilience = resilience
         self.resilience_options = resilience_options
         self.max_shard_attempts = max_shard_attempts
+        #: Workers put ``("heartbeat", id)`` on the result queue every
+        #: ``heartbeat_interval`` seconds; a worker silent for longer
+        #: than ``wedge_timeout`` is *wedged* (SIGSTOP, livelock — alive
+        #: to ``is_alive()`` but making no progress), SIGKILLed, and its
+        #: shard requeued like a crashed worker's.  ``wedge_timeout=None``
+        #: disables the detector.
+        self.heartbeat_interval = heartbeat_interval
+        self.wedge_timeout = wedge_timeout
         self.warnings: List[str] = []
 
         self.policy_name = getattr(policy_factory(), "name", "")
@@ -167,6 +190,10 @@ class ParallelCoordinator:
         self._result_queue = None
         self._stop_event = None
         self._next_worker_id = 0
+        #: Monotonic deadlines of replacement workers not yet forked
+        #: (exponential backoff after repeated deaths).
+        self._pending_respawns: List[float] = []
+        self._respawn_backoff = 0.0
 
     # ------------------------------------------------------------------
     # labels and phases
@@ -316,19 +343,58 @@ class ParallelCoordinator:
                   self.shard_limits, self.strategy, self.seed,
                   self.resilience_options, self.coverage is not None,
                   self.observer is not None,
-                  task_queue, self._result_queue, self._stop_event),
+                  task_queue, self._result_queue, self._stop_event,
+                  self.heartbeat_interval),
             daemon=True,
         )
         proc.start()
         self._procs.append(SimpleNamespace(id=worker_id, proc=proc,
                                            queue=task_queue, shard=None,
-                                           exited=False))
+                                           exited=False,
+                                           last_seen=time.monotonic()))
 
     def _entry(self, worker_id: int):
         for entry in self._procs:
             if entry.id == worker_id:
                 return entry
         return None
+
+    def _retire_entry(self, entry) -> None:
+        """Drop a dead/wedged worker from the pool and release its task
+        queue (close + join the feeder thread — entries removed outside
+        ``_pool_stop`` would otherwise leak one thread each)."""
+        entry.exited = True
+        if entry in self._procs:
+            self._procs.remove(entry)
+        try:
+            entry.queue.close()
+            entry.queue.join_thread()
+        except Exception:  # pragma: no cover - queue already torn down
+            pass
+
+    def _schedule_respawn(self) -> None:
+        """Queue a replacement worker with exponential backoff.
+
+        The first death respawns immediately; each further death before
+        the backoff resets doubles the delay up to the cap, so a workload
+        that kills every worker it touches cannot fork-bomb the host.
+        The backoff resets once any worker completes a shard.
+        """
+        self._pending_respawns.append(
+            time.monotonic() + self._respawn_backoff)
+        self._respawn_backoff = min(
+            _RESPAWN_BACKOFF_CAP,
+            self._respawn_backoff * 2 or _RESPAWN_BACKOFF_START)
+
+    def _maybe_respawn(self) -> None:
+        now = time.monotonic()
+        due = [d for d in self._pending_respawns if d <= now]
+        if not due:
+            return
+        self._pending_respawns = [d for d in self._pending_respawns
+                                  if d > now]
+        for _ in due:
+            self._spawn_worker()
 
     def _pool_stop(self) -> None:
         if self.inline or self._result_queue is None:
@@ -343,6 +409,11 @@ class ParallelCoordinator:
         for p in self._procs:
             if p.proc.is_alive():  # pragma: no cover - stuck worker
                 p.proc.terminate()
+                p.proc.join(timeout=1.0)
+            if p.proc.is_alive():  # pragma: no cover - wedged worker
+                # SIGTERM never reaches a SIGSTOPped process; SIGKILL
+                # (Process.kill) takes down even a stopped one.
+                p.proc.kill()
                 p.proc.join(timeout=1.0)
         # Shut the queues down for real: close() lets each feeder thread
         # flush and exit, join_thread() waits for it — otherwise every
@@ -533,8 +604,9 @@ class ParallelCoordinator:
         attempts: Dict[int, int] = {}
         quarantined: List[Shard] = []
 
-        def handle_crash(worker_id: int,
-                         shard_index: Optional[int]) -> None:
+        def handle_crash(worker_id: int, shard_index: Optional[int], *,
+                         wedged: bool = False,
+                         silent: float = 0.0) -> None:
             self._crashes += 1
             index = -1 if shard_index is None else shard_index
             attempts[index] = attempts.get(index, 0) + 1
@@ -553,7 +625,12 @@ class ParallelCoordinator:
                         f"worker crashes; merged results exclude it"
                     )
             if self.observer is not None:
-                self.observer.worker_crashed(worker_id, index, requeued)
+                if wedged:
+                    self.observer.worker_wedged(worker_id, index, silent,
+                                                requeued)
+                else:
+                    self.observer.worker_crashed(worker_id, index,
+                                                 requeued)
                 if requeued:
                     self.observer.spans.instant(
                         f"shard {shard_index} requeued", "requeued",
@@ -575,26 +652,50 @@ class ParallelCoordinator:
                         shard=shard.index, worker=entry.id)
 
         while outstanding and self._stop_reason is None:
+            self._maybe_respawn()
             dispatch()
-            progressed = self._consume_messages(
+            self._consume_messages(
                 timeout=0.1, outstanding=outstanding,
                 on_error=handle_crash)
             self._check_global_limits()
-            if progressed:
-                continue
-            # Queue idle: look for silently dead workers.  Assignment is
-            # tracked here at dispatch time, so even a worker that died
-            # before its feeder thread flushed a single message gives
-            # its shard back for requeue.
+            if self._stop_reason is not None:
+                break
+            # Look for silently dead workers every pass (heartbeat
+            # traffic keeps the queue busy, so queue idleness is no
+            # longer a crash signal).  Assignment is tracked at dispatch
+            # time, so even a worker that died before its feeder thread
+            # flushed a single message gives its shard back for requeue.
             for entry in list(self._procs):
                 if entry.exited or entry.proc.is_alive():
                     continue
-                entry.exited = True
-                self._procs.remove(entry)
+                self._retire_entry(entry)
                 handle_crash(entry.id, entry.shard)
                 if outstanding and self._stop_reason is None:
-                    self._spawn_worker()
-            if not any(p.proc.is_alive() for p in self._procs):
+                    self._schedule_respawn()
+            # Wedge detection: a SIGSTOPped or livelocked worker is
+            # alive to ``is_alive()`` but heartbeat-silent.  SIGKILL is
+            # deliberate — SIGTERM stays pending on a stopped process.
+            if self.wedge_timeout is not None:
+                now = time.monotonic()
+                for entry in list(self._procs):
+                    if entry.exited or not entry.proc.is_alive():
+                        continue
+                    silent = now - entry.last_seen
+                    if silent < self.wedge_timeout:
+                        continue
+                    entry.proc.kill()
+                    entry.proc.join(timeout=5.0)
+                    self._retire_entry(entry)
+                    self.warnings.append(
+                        f"worker {entry.id} made no progress for "
+                        f"{silent:.1f}s (wedged); killed"
+                    )
+                    handle_crash(entry.id, entry.shard, wedged=True,
+                                 silent=silent)
+                    if outstanding and self._stop_reason is None:
+                        self._schedule_respawn()
+            if (not any(p.proc.is_alive() for p in self._procs)
+                    and not self._pending_respawns):
                 if outstanding and self._stop_reason is None:
                     # The whole pool died faster than it could be
                     # replaced; surface rather than spin forever.
@@ -630,6 +731,17 @@ class ParallelCoordinator:
                         entry.exited = True
                         drain_crash(entry.id, entry.shard)
                         entry.shard = None
+                    elif (not entry.exited
+                          and self.wedge_timeout is not None
+                          and (time.monotonic() - entry.last_seen
+                               > self.wedge_timeout)):
+                        # A wedged worker would hold the drain open for
+                        # the full deadline; kill it now.
+                        entry.proc.kill()
+                        entry.proc.join(timeout=5.0)
+                        entry.exited = True
+                        drain_crash(entry.id, entry.shard)
+                        entry.shard = None
         return quarantined
 
     def _consume_messages(self, *, timeout: float, outstanding=None,
@@ -647,6 +759,14 @@ class ParallelCoordinator:
             progressed = True
             block = 0.0  # drain without further blocking
             kind = message[0]
+            # Any message proves its worker is making progress (every
+            # message kind carries the worker id in slot 1).
+            if len(message) > 1:
+                entry = self._entry(message[1])
+                if entry is not None:
+                    entry.last_seen = time.monotonic()
+            if kind == "heartbeat":
+                continue
             if kind == "start":
                 _, worker_id, _, shard_index = message
                 if self.observer is not None:
@@ -663,6 +783,9 @@ class ParallelCoordinator:
                 entry = self._entry(worker_id)
                 if entry is not None and entry.shard == shard_index:
                     entry.shard = None
+                # A completed shard proves the pool is healthy again:
+                # reset the respawn backoff.
+                self._respawn_backoff = 0.0
                 if outstanding is not None:
                     outstanding.discard(shard_index)
                 self._finish_shard(worker_id=worker_id,

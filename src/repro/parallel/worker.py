@@ -24,9 +24,11 @@ from __future__ import annotations
 import dataclasses
 import queue as queue_module
 import signal
+import threading
 import traceback
 from typing import Callable, List, Optional, Tuple
 
+from repro.chaos.faults import fault_at
 from repro.engine.coverage import CoverageTracker
 from repro.engine.strategies import (
     BfsStrategy,
@@ -172,6 +174,35 @@ def run_shard(
     return exploration_to_state(result), signatures, extras
 
 
+def _start_heartbeat(worker_id: int, result_queue,
+                     interval: float) -> threading.Event:
+    """Liveness beacon: a daemon thread that puts ``("heartbeat", id)``
+    on the result queue every ``interval`` seconds.
+
+    The coordinator treats prolonged silence as a *wedged* worker
+    (SIGSTOP, livelocked user code) — ``proc.is_alive()`` cannot tell a
+    stopped process from a busy one, the heartbeat can.  The chaos
+    ``clock-stall`` fault kills just this thread, simulating a worker
+    whose work continues but whose liveness signal died.
+    """
+    cancel = threading.Event()
+
+    def beat() -> None:
+        while not cancel.wait(interval):
+            rule = fault_at("worker.heartbeat", worker=worker_id)
+            if rule is not None and rule.kind == "clock-stall":
+                return
+            try:
+                result_queue.put(("heartbeat", worker_id))
+            except Exception:  # queue torn down: the worker is exiting
+                return
+
+    thread = threading.Thread(target=beat, daemon=True,
+                              name=f"repro-heartbeat-{worker_id}")
+    thread.start()
+    return cancel
+
+
 def worker_main(
     worker_id: int,
     program,
@@ -186,10 +217,15 @@ def worker_main(
     task_queue,
     result_queue,
     stop_event,
+    heartbeat_interval: float = 0.5,
 ) -> None:
     """Entry point of one forked worker process."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    heartbeat_cancel = None
+    if heartbeat_interval and heartbeat_interval > 0:
+        heartbeat_cancel = _start_heartbeat(worker_id, result_queue,
+                                            heartbeat_interval)
     options = resilience_options or ResilienceOptions()
     options = dataclasses.replace(options, checkpoint_path=None,
                                   handle_signals=False)
@@ -215,6 +251,11 @@ def worker_main(
             result_queue.put(("start", worker_id, phase, shard.index))
 
             def on_execution(record, phase=phase, index=shard.index):
+                # Chaos fault point: a worker-kill rule SIGKILLs, a
+                # worker-stall rule SIGSTOPs this process right here,
+                # mid-shard — the coordinator must recover either way.
+                fault_at("worker.execution", worker=worker_id,
+                         shard=index)
                 result_queue.put((
                     "execution", worker_id, phase, index,
                     record.outcome.value, record.steps, record.preemptions,
@@ -238,4 +279,6 @@ def worker_main(
                 result_queue.put(("error", worker_id, phase, shard.index,
                                   traceback.format_exc()))
     finally:
+        if heartbeat_cancel is not None:
+            heartbeat_cancel.set()
         result_queue.put(("exit", worker_id))

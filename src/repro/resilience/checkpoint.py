@@ -13,9 +13,15 @@ strategy needs to continue where it stopped:
 * the RNG state of any random component, so a resumed search makes the
   identical choices an uninterrupted one would have made.
 
-Writes are atomic — the snapshot is serialized to ``<path>.tmp`` and
-``os.replace``d over the target — so an interrupt mid-write can never
-leave a truncated checkpoint behind.
+Writes are atomic and durable — the snapshot goes through
+:func:`repro.durableio.atomic_write` (tmp file, fsync, ``os.replace``,
+directory fsync), so an interrupt mid-write can never leave a truncated
+checkpoint behind and a completed save survives kill -9.  Before each
+save the current checkpoint is hardlinked onto a ``.prev`` sibling, so
+even a checkpoint corrupted *after* publication (torn by a dying disk, a
+dropped fsync plus power cut) is recoverable: :meth:`CheckpointStore.\
+load_or_recover` quarantines the bad file to ``.corrupt`` and falls back
+to the last good snapshot.
 
 The serialization here is intentionally *lossy about traces*: recorded
 schedules replay deterministically, so a resumed checker can always
@@ -30,7 +36,10 @@ import os
 import random
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.chaos.faults import record_op
+from repro.durableio import atomic_write_text
 
 from repro.engine.results import (
     Decision,
@@ -217,34 +226,74 @@ class CheckpointStore:
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
-        stale = self._tmp_path()
-        if stale.exists():
-            try:
-                stale.unlink()
-            except OSError:
-                pass  # unreadable/foreign tmp file: leave it alone
+        for stale in (self._tmp_path(), self._prevtmp_path()):
+            if stale.exists():
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass  # unreadable/foreign tmp file: leave it alone
 
     def _tmp_path(self) -> Path:
         return self.path.with_name(self.path.name + ".tmp")
 
+    def _prev_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".prev")
+
+    def _prevtmp_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".prevtmp")
+
+    def _corrupt_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".corrupt")
+
     def exists(self) -> bool:
         return self.path.exists()
 
+    def recoverable(self) -> bool:
+        """True when a resume has *something* to work with — the
+        checkpoint itself or its ``.prev`` rotation sibling."""
+        return self.path.exists() or self._prev_path().exists()
+
+    def _rotate(self) -> None:
+        """Hardlink the current checkpoint onto ``.prev``.
+
+        Runs before every save, so the last *published* snapshot stays
+        reachable even if the new one is torn by a fault between rename
+        and fsync.  Best-effort: a filesystem without hardlinks just
+        loses the second line of defense, not the save.
+        """
+        if not self.path.exists():
+            return
+        tmp_link = self._prevtmp_path()
+        try:
+            if tmp_link.exists():
+                tmp_link.unlink()
+            os.link(self.path, tmp_link)
+            os.replace(tmp_link, self._prev_path())
+            record_op("link", str(self.path), str(self._prev_path()))
+        except OSError:
+            pass
+
     def save(self, payload: dict) -> Path:
-        """Write ``payload`` atomically; returns the checkpoint path."""
+        """Write ``payload`` atomically and durably; returns the path.
+
+        Raises ``OSError`` when the disk refuses the write (ENOSPC,
+        EIO): callers that must outlive a full disk catch it and degrade
+        (see ``ResilienceController.flush_checkpoint``).
+        """
         document = dict(payload)
         document["format"] = FORMAT_VERSION
         document["saved_at"] = time.time()
-        tmp = self._tmp_path()
         if self.path.parent and not self.path.parent.exists():
             self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp.write_text(
-            json.dumps(document, indent=2, sort_keys=True, default=str) + "\n")
-        os.replace(tmp, self.path)
+        self._rotate()
+        text = json.dumps(
+            document, indent=2, sort_keys=True, default=str) + "\n"
+        atomic_write_text(self.path, text, label="checkpoint")
         return self.path
 
     def delete(self) -> bool:
-        """Remove the checkpoint (and any ``.tmp`` sibling).
+        """Remove the checkpoint and every sibling it may have spawned
+        (``.tmp``, ``.prev``, ``.prevtmp``, ``.corrupt``).
 
         Returns True when a checkpoint file was actually removed.  Used
         by long-lived owners — the checking service garbage-collects a
@@ -252,7 +301,8 @@ class CheckpointStore:
         so finished work never leaves resume state behind.
         """
         removed = False
-        for candidate in (self.path, self._tmp_path()):
+        for candidate in (self.path, self._tmp_path(), self._prev_path(),
+                          self._prevtmp_path(), self._corrupt_path()):
             try:
                 candidate.unlink()
                 removed = removed or candidate == self.path
@@ -273,8 +323,9 @@ class CheckpointStore:
         if not root.is_dir():
             return []
         found: List[Path] = []
+        skip = (".tmp", ".prev", ".prevtmp", ".corrupt")
         for path in sorted(root.iterdir()):
-            if not path.is_file() or path.name.endswith(".tmp"):
+            if not path.is_file() or path.name.endswith(skip):
                 continue
             try:
                 payload = json.loads(path.read_text())
@@ -331,6 +382,64 @@ class CheckpointStore:
         if not isinstance(payload.get("state"), dict):
             raise ValueError(f"checkpoint {self.path} has no strategy state")
         return payload
+
+    @staticmethod
+    def _validate(path: Path) -> dict:
+        payload = json.loads(path.read_text())
+        if (not isinstance(payload, dict)
+                or payload.get("format") != FORMAT_VERSION
+                or not isinstance(payload.get("state"), dict)):
+            raise ValueError(f"checkpoint {path} is not a valid "
+                             f"format-{FORMAT_VERSION} snapshot")
+        return payload
+
+    def load_or_recover(self) -> Tuple[dict, bool, Optional[Path]]:
+        """Load the checkpoint, falling back to the ``.prev`` rotation
+        sibling when the primary is truncated or corrupt.
+
+        Returns ``(payload, recovered, quarantined)``: ``recovered`` is
+        False for a clean load of the primary; when True, ``payload``
+        came from the previous snapshot and ``quarantined`` (if not
+        ``None``) is the ``.corrupt`` path the bad primary was moved to
+        — kept for post-mortem, removed by :meth:`delete`.  The
+        checkpoint name is re-pointed (hardlinked) at the recovered
+        snapshot so subsequent saves rotate normally.  Raises
+        ``ValueError`` only when *no* loadable snapshot exists at all.
+        """
+        primary_error: Optional[ValueError] = None
+        if self.path.exists():
+            try:
+                return self.load(), False, None
+            except ValueError as exc:
+                primary_error = exc
+
+        quarantined: Optional[Path] = None
+        if self.path.exists():
+            quarantined = self._corrupt_path()
+            try:
+                os.replace(self.path, quarantined)
+            except OSError:
+                quarantined = None
+
+        prev = self._prev_path()
+        if prev.exists():
+            try:
+                payload = self._validate(prev)
+            except (OSError, ValueError, json.JSONDecodeError,
+                    UnicodeDecodeError):
+                payload = None
+            if payload is not None:
+                try:
+                    if not self.path.exists():
+                        os.link(prev, self.path)
+                except OSError:
+                    pass  # resume still works from the loaded payload
+                return payload, True, quarantined
+
+        if primary_error is not None:
+            raise primary_error
+        raise ValueError(f"checkpoint {self.path} does not exist and no "
+                         f"previous snapshot is available")
 
 
 def load_checkpoint(path: Union[str, Path]) -> dict:

@@ -68,6 +68,8 @@ class ResilienceController:
         self._stop: Optional[GracefulStop] = None
         self._since_checkpoint = 0
         self.checkpoints_written = 0
+        self.checkpoint_write_failures = 0
+        self.last_checkpoint_error: Optional[str] = None
 
     # ------------------------------------------------------------------
     # graceful stop
@@ -119,12 +121,28 @@ class ResilienceController:
         return self.flush_checkpoint(strategy)
 
     def flush_checkpoint(self, strategy) -> Optional[Path]:
-        """Unconditional snapshot (final flush on stop/interrupt)."""
+        """Unconditional snapshot (final flush on stop/interrupt).
+
+        A disk that refuses the write (ENOSPC, EIO) degrades the
+        *checkpoint*, never the search: the failure is counted, reported
+        through the observer, and the search carries on with its last
+        good snapshot (the store's ``.prev`` rotation guarantees one
+        survives).  Only real ``OSError`` is absorbed — an injected
+        simulated crash propagates, as a real crash would.
+        """
         if self.store is None:
             return None
         self._since_checkpoint = 0
         payload = self._payload(strategy)
-        path = self.store.save(payload)
+        try:
+            path = self.store.save(payload)
+        except OSError as exc:
+            self.checkpoint_write_failures += 1
+            self.last_checkpoint_error = f"{type(exc).__name__}: {exc}"
+            if self.observer is not None:
+                self.observer.checkpoint_write_failed(
+                    str(self.store.path), self.last_checkpoint_error)
+            return None
         self.checkpoints_written += 1
         if self.observer is not None:
             executions = (payload["state"].get("aggregator") or

@@ -170,6 +170,11 @@ class CheckServer:
         if quantum_executions < 1:
             raise ValueError("quantum_executions must be positive")
         self.store = JobStore(data_dir)
+        # Fail at boot, not at first save: a server on an unwritable
+        # jobs directory would otherwise idle forever while silently
+        # losing every submission.  Raises OSError for the CLI to turn
+        # into a nonzero exit (docs/service.md).
+        self.store.verify_writable()
         self.fleet = fleet
         self.quantum_executions = quantum_executions
         self.retention_seconds = retention_seconds
@@ -463,7 +468,14 @@ class CheckServer:
                 observer=observer,
                 external_stop=stop,
             )
-            resume_from = str(checkpoint) if checkpoint.exists() else None
+            # Resume whenever *any* snapshot is loadable — a corrupt
+            # primary falls back to its .prev rotation sibling inside
+            # Checker (checkpoint.recovered event + warning).
+            from repro.resilience import CheckpointStore
+
+            resume_from = (str(checkpoint)
+                           if CheckpointStore(checkpoint).recoverable()
+                           else None)
             result = checker.run(resume_from=resume_from)
         except JobSetupError as exc:
             self._fail_job(job_id, str(exc))
@@ -549,10 +561,16 @@ class CheckServer:
             if record is None or record.state.terminal:
                 return
             self._running.pop(job_id, None)
-            self.store.save_result(job_id, {
-                "job": job_id, "verdict": None, "ok": False,
-                "error": error,
-            })
+            try:
+                self.store.save_result(job_id, {
+                    "job": job_id, "verdict": None, "ok": False,
+                    "error": error,
+                })
+            except OSError:
+                # ENOSPC/EIO while recording a failure: the in-memory
+                # record must still reach FAILED (and wake waiters), or
+                # the disk error wedges the worker loop on this job.
+                pass
             self._finalize_locked(record, JobState.FAILED, error=error)
 
     def _finalize_locked(self, record: JobRecord, state: JobState,
@@ -560,8 +578,14 @@ class CheckServer:
         record.transition(state)
         if error is not None:
             record.error = error
-        self.store.save(record)
-        self.store.cleanup_job(record.id)
+        try:
+            self.store.save(record)
+            self.store.cleanup_job(record.id)
+        except OSError:
+            # Degrade, never die: the record is terminal in memory and
+            # the next boot's recovery re-finishes anything the disk
+            # refused to acknowledge here.
+            pass
         self.scheduler.finish(record.id)
         self.metrics.counter(f"jobs.{state.value}").inc()
         self._emit_job_event(record.id, JobStateChanged(

@@ -28,9 +28,11 @@ from __future__ import annotations
 
 import json
 import os
+import uuid
 from pathlib import Path
 from typing import Iterator, List, Optional, Union
 
+from repro.durableio import atomic_write_text
 from repro.resilience.checkpoint import CheckpointStore
 from repro.service.jobs import JobRecord, JobSpec, JobState
 
@@ -46,6 +48,23 @@ class JobStore:
         for directory in (self.root, self.inbox_dir, self.cancel_dir,
                           self.jobs_dir):
             directory.mkdir(parents=True, exist_ok=True)
+
+    def verify_writable(self) -> None:
+        """Probe that the store can actually persist job state.
+
+        Raises ``OSError`` when the jobs directory refuses writes (read-
+        only mount, permissions, full disk) — a server booting on such a
+        store must fail loudly rather than idle while silently losing
+        every submission.
+        """
+        probe = self.jobs_dir / f".writable-probe-{uuid.uuid4().hex}"
+        try:
+            probe.write_text("probe\n")
+        finally:
+            try:
+                probe.unlink()
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
     # paths
@@ -98,10 +117,24 @@ class JobStore:
         return self.record_path(job_id).exists()
 
     def jobs(self) -> Iterator[JobRecord]:
-        """All job records, oldest submission first (ids sort by time)."""
+        """All job records, oldest submission first (ids sort by time).
+
+        A corrupt ``job.json`` (torn by a crashed writer on a pre-fsync
+        build, eaten by the disk) is quarantined to ``job.json.corrupt``
+        and skipped — one bad record must never take down a server boot
+        and the healthy jobs around it.
+        """
         for path in sorted(self.jobs_dir.iterdir()):
-            if path.is_dir() and (path / "job.json").exists():
+            if not path.is_dir() or not (path / "job.json").exists():
+                continue
+            try:
                 yield self.load(path.name)
+            except ValueError:
+                bad = path / "job.json"
+                try:
+                    os.replace(bad, path / "job.json.corrupt")
+                except OSError:
+                    pass
 
     # ------------------------------------------------------------------
     # results
@@ -205,8 +238,10 @@ class JobStore:
 
 
 def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Durable JSON write via :func:`repro.durableio.atomic_write` —
+    job records are the service's source of truth, so a write that
+    returned must survive kill -9."""
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True,
-                              default=str) + "\n", encoding="utf-8")
-    os.replace(tmp, path)
+    text = json.dumps(payload, indent=2, sort_keys=True,
+                      default=str) + "\n"
+    atomic_write_text(path, text, label="job")

@@ -1,0 +1,132 @@
+"""The shared atomic writer under every write-path fault kind."""
+
+import errno
+import json
+
+import pytest
+
+from repro.chaos.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    WriteRecorder,
+    fault_plan,
+    install_recorder,
+    uninstall_recorder,
+)
+from repro.durableio import atomic_write, atomic_write_json, \
+    atomic_write_text
+
+
+class TestHappyPath:
+    def test_writes_and_replaces(self, tmp_path):
+        target = tmp_path / "f.json"
+        atomic_write(target, b"payload")
+        assert target.read_bytes() == b"payload"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_text_and_json_helpers(self, tmp_path):
+        atomic_write_text(tmp_path / "t.txt", "hello")
+        assert (tmp_path / "t.txt").read_text() == "hello"
+        atomic_write_json(tmp_path / "d.json", {"b": 1, "a": 2})
+        loaded = json.loads((tmp_path / "d.json").read_text())
+        assert loaded == {"a": 2, "b": 1}
+
+    def test_overwrite_is_atomic(self, tmp_path):
+        target = tmp_path / "f"
+        atomic_write(target, b"old")
+        atomic_write(target, b"new")
+        assert target.read_bytes() == b"new"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_records_the_op_sequence(self, tmp_path):
+        recorder = install_recorder(WriteRecorder())
+        try:
+            atomic_write(tmp_path / "f", b"data", label="checkpoint")
+        finally:
+            uninstall_recorder()
+        kinds = [op[0] for op in recorder.ops]
+        assert kinds == ["write", "fsync", "replace", "fsync_dir"]
+
+    def test_durable_false_skips_fsyncs(self, tmp_path):
+        recorder = install_recorder(WriteRecorder())
+        try:
+            atomic_write(tmp_path / "f", b"data", durable=False)
+        finally:
+            uninstall_recorder()
+        kinds = [op[0] for op in recorder.ops]
+        assert kinds == ["write", "replace"]
+
+
+class TestFaultedWrites:
+    def test_torn_write_crashes_before_publish(self, tmp_path):
+        target = tmp_path / "f"
+        atomic_write(target, b"originaloriginal")
+        plan = FaultPlan(rules=[FaultRule(point="file.write",
+                                          kind="torn-write")])
+        with fault_plan(plan):
+            with pytest.raises(InjectedFault):
+                atomic_write(target, b"replacementreplacement")
+        # The original is untouched; the torn half sits in the tmp file.
+        assert target.read_bytes() == b"originaloriginal"
+        tmp = tmp_path / "f.tmp"
+        assert tmp.read_bytes() == b"replacement"  # half of 22 bytes
+
+    def test_short_write_publishes_corrupt_content(self, tmp_path):
+        target = tmp_path / "f"
+        plan = FaultPlan(rules=[FaultRule(point="file.write",
+                                          kind="short-write")])
+        with fault_plan(plan):
+            atomic_write(target, b"0123456789")  # returns "successfully"
+        assert target.read_bytes() == b"01234"
+
+    def test_keep_fraction_controls_the_tear(self, tmp_path):
+        plan = FaultPlan(rules=[FaultRule(point="file.write",
+                                          kind="short-write", keep=0.2)])
+        with fault_plan(plan):
+            atomic_write(tmp_path / "f", b"0123456789")
+        assert (tmp_path / "f").read_bytes() == b"01"
+
+    def test_replace_interrupted_crashes_between_write_and_rename(
+            self, tmp_path):
+        target = tmp_path / "f"
+        atomic_write(target, b"original")
+        plan = FaultPlan(rules=[FaultRule(point="file.replace",
+                                          kind="replace-interrupted")])
+        with fault_plan(plan):
+            with pytest.raises(InjectedFault):
+                atomic_write(target, b"newer")
+        assert target.read_bytes() == b"original"
+        assert (tmp_path / "f.tmp").read_bytes() == b"newer"
+
+    def test_enospc_surfaces_as_real_oserror(self, tmp_path):
+        plan = FaultPlan(rules=[FaultRule(point="file.write",
+                                          kind="enospc")])
+        with fault_plan(plan):
+            with pytest.raises(OSError) as info:
+                atomic_write(tmp_path / "f", b"data")
+        assert info.value.errno == errno.ENOSPC
+
+    def test_fsync_drop_is_silent(self, tmp_path):
+        recorder = install_recorder(WriteRecorder())
+        plan = FaultPlan(rules=[FaultRule(point="file.fsync",
+                                          kind="fsync-drop")])
+        try:
+            with fault_plan(plan):
+                atomic_write(tmp_path / "f", b"data")
+        finally:
+            uninstall_recorder()
+        # The write "succeeds" but no fsync op was issued for the file —
+        # only the torture suite's simulated disk can tell the
+        # difference (a crash now may tear the published content).
+        assert (tmp_path / "f").read_bytes() == b"data"
+        kinds = [op[0] for op in recorder.ops]
+        assert kinds == ["write", "replace", "fsync_dir"]
+
+    def test_labels_scope_the_fault_points(self, tmp_path):
+        plan = FaultPlan(rules=[FaultRule(point="checkpoint.write",
+                                          kind="enospc")])
+        with fault_plan(plan):
+            atomic_write(tmp_path / "job", b"x", label="job")  # unscathed
+            with pytest.raises(OSError):
+                atomic_write(tmp_path / "ckpt", b"x", label="checkpoint")

@@ -1,0 +1,166 @@
+"""The fault plane itself: rules, plans, the injector, the globals."""
+
+import errno
+import json
+
+import pytest
+
+from repro.chaos.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    WriteRecorder,
+    active,
+    fault_at,
+    fault_plan,
+    install,
+    install_recorder,
+    record_op,
+    uninstall,
+    uninstall_recorder,
+)
+
+
+class TestFaultRule:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule(point="x", kind="disk-on-fire")
+
+    def test_rejects_zero_hit(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultRule(point="x", kind="enospc", at=0)
+
+    def test_rejects_bad_keep_fraction(self):
+        with pytest.raises(ValueError, match="fraction"):
+            FaultRule(point="x", kind="torn-write", keep=1.5)
+
+    def test_round_trips_through_dict(self):
+        rule = FaultRule(point="checkpoint.*", kind="torn-write", at=3,
+                         times=2, match={"worker": 1}, keep=0.25)
+        clone = FaultRule.from_dict(
+            json.loads(json.dumps(rule.to_dict())))
+        assert clone == rule
+
+
+class TestFaultPlan:
+    def test_round_trips_through_dict(self):
+        plan = FaultPlan(rules=[FaultRule(point="a", kind="eio")],
+                         seed=7, name="p")
+        clone = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert clone == plan
+
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded(42, "checkpoint.write", "enospc")
+        b = FaultPlan.seeded(42, "checkpoint.write", "enospc")
+        assert a.rules[0].at == b.rules[0].at
+
+    def test_seeded_varies_with_seed(self):
+        hits = {FaultPlan.seeded(seed, "checkpoint.write", "enospc",
+                                 max_hit=50).rules[0].at
+                for seed in range(30)}
+        assert len(hits) > 1
+
+    def test_all_kinds_are_plannable(self):
+        for kind in FAULT_KINDS:
+            plan = FaultPlan.seeded(0, "p", kind)
+            assert plan.rules[0].kind == kind
+
+
+class TestFaultInjector:
+    def test_fires_on_the_armed_hit_only(self):
+        injector = FaultInjector(FaultPlan(
+            rules=[FaultRule(point="p", kind="fsync-drop", at=2)]))
+        assert injector.check("p") is None
+        assert injector.check("p").kind == "fsync-drop"
+        assert injector.check("p") is None
+        assert [f.hit for f in injector.fired] == [2]
+
+    def test_times_extends_the_firing_window(self):
+        injector = FaultInjector(FaultPlan(
+            rules=[FaultRule(point="p", kind="fsync-drop", at=1, times=3)]))
+        fired = [injector.check("p") is not None for _ in range(5)]
+        assert fired == [True, True, True, False, False]
+
+    def test_point_patterns_glob(self):
+        injector = FaultInjector(FaultPlan(
+            rules=[FaultRule(point="checkpoint.*", kind="fsync-drop")]))
+        assert injector.check("checkpoint.write") is not None
+        assert injector.check("job.write") is None
+
+    def test_context_match_restricts_firing(self):
+        injector = FaultInjector(FaultPlan(
+            rules=[FaultRule(point="p", kind="fsync-drop",
+                             match={"worker": 0})]))
+        assert injector.check("p", worker=1) is None
+        # The miss still consumed hit #1; arm `at` covers hit 2 too.
+        injector2 = FaultInjector(FaultPlan(
+            rules=[FaultRule(point="p", kind="fsync-drop", at=1,
+                             match={"worker": 0})]))
+        assert injector2.check("p", worker=0) is not None
+
+    def test_enospc_raises_real_oserror(self):
+        injector = FaultInjector(FaultPlan(
+            rules=[FaultRule(point="p", kind="enospc")]))
+        with pytest.raises(OSError) as info:
+            injector.check("p", path="/x/y")
+        assert info.value.errno == errno.ENOSPC
+        assert injector.fired  # audited before raising
+
+    def test_eio_raises_real_oserror(self):
+        injector = FaultInjector(FaultPlan(
+            rules=[FaultRule(point="p", kind="eio")]))
+        with pytest.raises(OSError) as info:
+            injector.check("p")
+        assert info.value.errno == errno.EIO
+
+    def test_on_fire_callback_sees_the_firing(self):
+        seen = []
+        injector = FaultInjector(
+            FaultPlan(rules=[FaultRule(point="p", kind="fsync-drop")]),
+            on_fire=seen.append)
+        injector.check("p", worker=3)
+        assert seen[0].point == "p"
+        assert seen[0].context == (("worker", 3),)
+
+    def test_on_fire_errors_never_mask_the_fault(self):
+        def boom(fired):
+            raise RuntimeError("telemetry bug")
+        injector = FaultInjector(
+            FaultPlan(rules=[FaultRule(point="p", kind="fsync-drop")]),
+            on_fire=boom)
+        assert injector.check("p") is not None
+
+
+class TestGlobalPlane:
+    def test_idle_fault_point_is_a_noop(self):
+        uninstall()
+        assert fault_at("anything", worker=1) is None
+        assert active() is None
+
+    def test_install_uninstall_cycle(self):
+        injector = install(FaultPlan(
+            rules=[FaultRule(point="p", kind="fsync-drop")]))
+        try:
+            assert active() is injector
+            assert fault_at("p") is not None
+        finally:
+            uninstall()
+        assert fault_at("p") is None
+
+    def test_scoped_fault_plan_context_manager(self):
+        with fault_plan(FaultPlan(
+                rules=[FaultRule(point="p", kind="fsync-drop")])) as inj:
+            fault_at("p")
+        assert active() is None
+        assert len(inj.fired) == 1
+
+    def test_recorder_captures_ops_in_order(self):
+        recorder = install_recorder(WriteRecorder())
+        try:
+            record_op("write", "/t", b"x")
+            record_op("fsync", "/t")
+        finally:
+            uninstall_recorder()
+        record_op("replace", "/t", "/p")  # after uninstall: dropped
+        assert recorder.ops == [("write", "/t", b"x"), ("fsync", "/t")]

@@ -1,0 +1,35 @@
+"""The seeded fault matrix + crash-consistency torture, end to end.
+
+Marked ``chaos``: excluded from the default (tier-1) run and executed by
+the dedicated CI chaos job — each test runs many full searches.
+"""
+
+import pytest
+
+from repro.chaos.harness import SCENARIOS, run_matrix
+from repro.chaos.torture import STRATEGIES, torture_strategy
+
+pytestmark = pytest.mark.chaos
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matrix_is_green_for_fixed_seeds(self, seed):
+        matrix = run_matrix(seed=seed)
+        assert matrix.ok, "\n" + matrix.summary()
+        assert len(matrix.scenarios) == len(SCENARIOS)
+
+    def test_unknown_scenario_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos scenario"):
+            run_matrix(only=["disk-on-fire"])
+
+
+class TestTortureSweep:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_every_prefix_of_every_strategy_recovers(self, strategy):
+        result = torture_strategy(strategy, max_executions=8)
+        assert result.ok, "\n" + result.describe()
+        # Sanity: the sweep actually exercised a nontrivial op log and
+        # both durability brackets per prefix.
+        assert result.prefixes > 20
+        assert result.states_checked == 2 * result.prefixes

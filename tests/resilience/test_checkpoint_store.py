@@ -119,7 +119,11 @@ class TestCheckpointStore:
         store = CheckpointStore(tmp_path / "search.ckpt")
         store.save(self.payload())
         store.save(self.payload())  # overwrite goes through the same dance
-        assert [p.name for p in tmp_path.iterdir()] == ["search.ckpt"]
+        # The overwrite rotates the last snapshot to .prev (recovery
+        # fodder); the only other file is the checkpoint itself — no
+        # .tmp survives a completed save.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "search.ckpt", "search.ckpt.prev"]
 
     def test_creates_missing_parent_directories(self, tmp_path):
         store = CheckpointStore(tmp_path / "deep" / "nested" / "s.ckpt")
