@@ -21,7 +21,7 @@ checks the claim exhaustively instead of anecdotally:
 
 3. resume the search from each materialized state and require the final
    totals (executions, transitions, per-outcome counts, verdict) to be
-   **bit-identical** to an unfaulted baseline — across all five
+   **bit-identical** to an unfaulted baseline — across all six
    strategies.
 
 Any real state the hardware can produce lies between the two brackets,
@@ -41,7 +41,7 @@ from repro.checker import Checker
 from repro.resilience import CheckpointStore
 from repro.workloads.dining import dining_philosophers
 
-STRATEGIES = ("dfs", "bfs", "random", "por", "icb")
+STRATEGIES = ("dfs", "bfs", "random", "por", "icb", "dpor")
 
 
 @dataclass

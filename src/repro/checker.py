@@ -45,6 +45,7 @@ from repro.engine.results import (
 from repro.engine.strategies import (
     BfsStrategy,
     DfsStrategy,
+    DporStrategy,
     ExplorationLimits,
     IcbStrategy,
     RandomWalkStrategy,
@@ -287,9 +288,16 @@ class Checker:
                 coverage=self.coverage, observer=self.observer,
                 resilience=resilience, config=self.config,
             )
+        if self.strategy == "dpor":
+            return DporStrategy(
+                self.program, self.policy_factory,
+                depth_bound=self.config.depth_bound, limits=self.limits,
+                coverage=self.coverage, observer=self.observer,
+                resilience=resilience, config=self.config,
+            )
         raise ValueError(
             f"unknown strategy {self.strategy!r} "
-            f"(expected 'dfs', 'icb', 'bfs', 'random' or 'por')"
+            f"(expected 'dfs', 'icb', 'bfs', 'random', 'por' or 'dpor')"
         )
 
     def run(self, *, resume_from: Optional[str] = None) -> CheckResult:

@@ -112,7 +112,8 @@ def _add_checker_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-fairness", action="store_true",
                         help="use the classical unfair scheduler")
     parser.add_argument("--strategy", default="dfs",
-                        choices=["dfs", "icb", "bfs", "random", "por"])
+                        choices=["dfs", "icb", "bfs", "random", "por",
+                                 "dpor"])
     parser.add_argument("--depth-bound", type=int, default=5000,
                         help="divergence bound (fair) / prune bound (unfair)")
     parser.add_argument("--preemption-bound", type=int, default=None,
@@ -662,7 +663,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                                   default=[])
     snapshots_parser.add_argument("--strategy", default="dfs",
                                   choices=["dfs", "icb", "bfs", "random",
-                                           "por"])
+                                           "por", "dpor"])
     snapshots_parser.add_argument("--depth-bound", type=int, default=200)
     snapshots_parser.add_argument("--preemption-bound", type=int, default=2)
     snapshots_parser.add_argument("--snapshot-interval", type=int, default=4)

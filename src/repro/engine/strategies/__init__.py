@@ -14,6 +14,7 @@ from repro.engine.strategies.context_bound import (
     merge_sweeps,
 )
 from repro.engine.strategies.dfs import DfsStrategy, explore_dfs
+from repro.engine.strategies.dpor import DporStrategy, explore_source_dpor
 from repro.engine.strategies.por import SleepSetStrategy, explore_dfs_sleepsets
 from repro.engine.strategies.random_walk import (
     RandomWalkStrategy,
@@ -24,6 +25,7 @@ __all__ = [
     "Aggregator",
     "BfsStrategy",
     "DfsStrategy",
+    "DporStrategy",
     "ExplorationLimits",
     "IcbStrategy",
     "RandomWalkStrategy",
@@ -33,6 +35,7 @@ __all__ = [
     "explore_context_bounded",
     "explore_dfs",
     "explore_dfs_sleepsets",
+    "explore_source_dpor",
     "explore_random",
     "iterative_context_bounding",
     "merge_sweeps",

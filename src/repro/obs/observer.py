@@ -13,7 +13,9 @@ Metric names (see ``docs/observability.md`` for the full schema):
   ``preemptions``, ``backtracks``, ``violations``, ``deadlocks``,
   ``divergences``, ``divergence.<kind>``, ``decisions.thread``,
   ``decisions.data``, ``states.new``, ``states.revisited``,
-  ``icb.sweeps``, ``crashes``, ``crashes.quarantined``,
+  ``icb.sweeps``, ``dpor.races_detected``, ``dpor.sleep_blocked``,
+  ``dpor.wakeup_pruned``, ``dpor.wakeup_abandoned``,
+  ``dpor.fairness_skipped``, ``crashes``, ``crashes.quarantined``,
   ``executions.aborted``, ``checkpoints``, ``threads.leaked``,
   ``executions.replayed_steps``, ``executions.restored_steps``,
   ``snapshot.hits``, ``snapshot.misses``, ``snapshot.evictions``,
@@ -259,6 +261,31 @@ class Observer:
                 found_violation=result.found_violation,
                 wall_seconds=result.wall_seconds,
             ))
+
+    def dpor_race_detected(self) -> None:
+        """Source-DPOR found a reversible race in the last execution."""
+        self.metrics.counter("dpor.races_detected").inc()
+
+    def dpor_sleep_blocked(self) -> None:
+        """An execution stopped with every schedulable thread asleep."""
+        self.metrics.counter("dpor.sleep_blocked").inc()
+
+    def dpor_wakeup_pruned(self) -> None:
+        """A wakeup sequence was redundant (initials asleep/explored)."""
+        self.metrics.counter("dpor.wakeup_pruned").inc()
+
+    def dpor_wakeup_abandoned(self) -> None:
+        """A forced wakeup suffix became policy-unschedulable mid-run."""
+        self.metrics.counter("dpor.wakeup_abandoned").inc()
+
+    def dpor_fairness_skipped(self) -> None:
+        """A backtrack insertion was deferred: no initial schedulable."""
+        self.metrics.counter("dpor.fairness_skipped").inc()
+
+    def dpor_handover(self) -> None:
+        """A race with a disabled partner re-inserted at the enabling
+        step (lock handover)."""
+        self.metrics.counter("dpor.lock_handovers").inc()
 
     # ------------------------------------------------------------------
     # resilience hooks

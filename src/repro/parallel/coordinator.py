@@ -76,7 +76,7 @@ _RESPAWN_BACKOFF_START = 0.1
 _RESPAWN_BACKOFF_CAP = 5.0
 
 #: Strategies the coordinator knows how to shard.
-PARALLEL_STRATEGIES = ("dfs", "icb", "bfs", "random", "por")
+PARALLEL_STRATEGIES = ("dfs", "icb", "bfs", "random", "por", "dpor")
 
 
 def _fork_context():
@@ -208,6 +208,8 @@ class ParallelCoordinator:
             return f"cb={bound}"
         if self.strategy == "por":
             return "dfs+sleepsets"
+        if self.strategy == "dpor":
+            return "source-dpor"
         if self.strategy == "random":
             return f"random(n={self.random_executions})"
         return self.strategy
@@ -250,6 +252,16 @@ class ParallelCoordinator:
         if self.strategy == "random":
             return plan_range_shards(self.random_executions,
                                      target=self.shard_target)
+        if self.strategy == "dpor":
+            # Source-DPOR discovers its backtrack points *dynamically* —
+            # the subtree below a prefix depends on races seen elsewhere,
+            # so a prefix partition is not exhaustive for it.  The whole
+            # search runs as one shard: no speedup, but the parallel API
+            # (checkpointing, worker supervision, identical totals at any
+            # worker count) still applies.
+            return ShardPlan(kind="prefix",
+                             shards=[Shard(index=0, kind="prefix",
+                                           prefix=())])
         return plan_prefix_shards(
             lambda prefix: self._probe(prefix, bound),
             target=self.shard_target,

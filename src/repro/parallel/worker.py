@@ -33,6 +33,7 @@ from repro.engine.coverage import CoverageTracker
 from repro.engine.strategies import (
     BfsStrategy,
     DfsStrategy,
+    DporStrategy,
     ExplorationLimits,
     RandomWalkStrategy,
     SleepSetStrategy,
@@ -91,6 +92,17 @@ def build_shard_strategy(
         return SleepSetStrategy(
             program, policy_factory, depth_bound=config.depth_bound,
             limits=limits, prefix=list(shard.prefix),
+            coverage=coverage, listener=listener, resilience=resilience,
+            config=config, observer=observer,
+        )
+    if strategy_name == "dpor":
+        # DPOR's plan is always the single root shard (dynamic backtrack
+        # points cannot be prefix-partitioned), so the prefix is empty.
+        if shard.prefix:
+            raise ValueError("dpor shards must have an empty prefix")
+        return DporStrategy(
+            program, policy_factory, depth_bound=config.depth_bound,
+            limits=limits,
             coverage=coverage, listener=listener, resilience=resilience,
             config=config, observer=observer,
         )

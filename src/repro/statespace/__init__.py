@@ -23,6 +23,7 @@ from repro.statespace.cycles import (
 )
 from repro.statespace.random_programs import (
     random_good_samaritan_system,
+    random_partitioned_system,
     random_system,
 )
 from repro.statespace.signature_graph import (
@@ -31,8 +32,10 @@ from repro.statespace.signature_graph import (
     find_livelock_candidates,
 )
 from repro.statespace.stateful import (
+    GroundTruth,
     StatefulSearchResult,
     reachable_states,
+    stateful_search,
     stateful_state_count,
 )
 from repro.statespace.transition_system import (
@@ -43,6 +46,7 @@ from repro.statespace.transition_system import (
 )
 
 __all__ = [
+    "GroundTruth",
     "SignatureGraph",
     "StateGraph",
     "StatefulSearchResult",
@@ -62,8 +66,10 @@ __all__ = [
     "is_fair_cycle",
     "pc_program",
     "random_good_samaritan_system",
+    "random_partitioned_system",
     "random_system",
     "reachable_states",
     "signature_hash",
+    "stateful_search",
     "stateful_state_count",
 ]

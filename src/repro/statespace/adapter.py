@@ -9,7 +9,7 @@ measurement exact.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Hashable
+from typing import FrozenSet, Hashable, Optional, Tuple
 
 from repro.core.model import Program, ProgramInstance, StepInfo
 from repro.statespace.transition_system import TransitionSystem
@@ -51,6 +51,23 @@ class TransitionSystemInstance(ProgramInstance):
 
     def state_signature(self) -> Hashable:
         return self.state
+
+    # -- partial-order reduction hooks ---------------------------------
+    def pending_resources(self, tid) -> Optional[Tuple]:
+        """Declared footprint of ``tid``'s next transition (None when the
+        thread declares none — conservatively dependent with everything).
+        Consulted by the DPOR strategy's race analysis."""
+        return self._system.pending_resources(self.state, tid)
+
+    def live_threads(self) -> FrozenSet:
+        """Threads that may still take a step in some extension.
+
+        Explicit systems report no-enabled as TERMINATED even when
+        threads are merely blocked, so partial-order strategies must ask
+        here — a blocked-but-live thread's pending transition still
+        participates in race analysis.
+        """
+        return self._system.live_threads(self.state)
 
 
 class TransitionSystemProgram(Program):

@@ -6,7 +6,7 @@ variable, with random guards, effects, branches and yield placement.
 Property tests draw seeds with hypothesis and validate the paper's
 theorems against the generated systems.
 
-Two generators:
+Three generators:
 
 * :func:`random_system` — arbitrary programs (may deadlock, livelock,
   starve; good for testing the *mechanism*).
@@ -14,6 +14,12 @@ Two generators:
   satisfy the good-samaritan property: every loop of every thread
   contains a yield.  Built by making every *backward* pc jump a yielding
   instruction, so any infinite thread-local path yields infinitely often.
+* :func:`random_partitioned_system` — programs whose shared state is a
+  tuple of independent variables and whose every instruction reads and
+  writes exactly one of them, declared as its resource footprint.  The
+  declarations are honest by construction, so partial-order strategies
+  get real, sound commutativity to exploit — the substrate of the DPOR
+  soundness properties.
 """
 
 from __future__ import annotations
@@ -76,6 +82,69 @@ def random_system(
             ))
         tables[f"T{index}"] = tuple(rows)
     return pc_program(f"{name}({seed})", 0, tables)
+
+
+def random_partitioned_system(
+    seed: int,
+    *,
+    n_threads: int = 3,
+    n_pcs: int = 3,
+    n_vars: int = 3,
+    domain: int = 2,
+    yield_prob: float = 0.2,
+    always_prob: float = 0.7,
+    name: str = "random-part",
+) -> TransitionSystem:
+    """A random program with honest per-instruction resource footprints.
+
+    The shared state is a tuple of ``n_vars`` variables, each over
+    ``range(domain)``.  Every instruction is *confined* to one variable:
+    its guard, effect and branch target read only that variable, and its
+    footprint declaration names exactly that variable.  Two instructions
+    on different variables therefore genuinely commute — the declarations
+    the DPOR race analysis consumes are sound by construction, never by
+    trust.
+
+    Forward-only control flow (``allow_backward=False``) keeps the state
+    space finite without a depth bound, so exhaustive strategies
+    terminate and ground-truth comparison is exact.
+    """
+    rng = random.Random(seed)
+    tables: Dict[str, Tuple] = {}
+    for index in range(n_threads):
+        rows: List[Tuple] = []
+        for pc in range(n_pcs):
+            var = rng.randrange(n_vars)
+            guard_v = _random_guard(rng, domain, always_prob=always_prob)
+            effect_v = _random_effect(rng, domain)
+            next_pc_v = _random_next_pc(rng, domain, n_pcs, pc,
+                                        allow_backward=False)
+
+            def guard(shared, var=var, guard_v=guard_v):
+                return guard_v(shared[var])
+
+            def effect(shared, var=var, effect_v=effect_v):
+                return tuple(
+                    effect_v(value) if position == var else value
+                    for position, value in enumerate(shared)
+                )
+
+            if callable(next_pc_v):
+                def next_pc(shared, var=var, next_pc_v=next_pc_v):
+                    return next_pc_v(shared[var])
+            else:
+                next_pc = next_pc_v
+
+            rows.append((
+                guard,
+                effect,
+                next_pc,
+                rng.random() < yield_prob,
+                (f"v{var}",),
+            ))
+        tables[f"T{index}"] = tuple(rows)
+    initial = tuple(0 for _ in range(n_vars))
+    return pc_program(f"{name}({seed})", initial, tables)
 
 
 def random_good_samaritan_system(

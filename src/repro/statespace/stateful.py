@@ -27,6 +27,7 @@ from typing import FrozenSet, Hashable, Optional, Set
 from repro.core.model import Program
 from repro.core.policies import NonfairPolicy, nonfair_policy
 from repro.engine.executor import ExecutorConfig, GuidedChooser, run_execution
+from repro.engine.results import Outcome
 from repro.engine.strategies.base import next_dfs_guide
 from repro.statespace.transition_system import TransitionSystem
 
@@ -34,6 +35,29 @@ from repro.statespace.transition_system import TransitionSystem
 @dataclass
 class StatefulSearchResult:
     states: FrozenSet[Hashable]
+    executions: int
+    transitions: int
+    complete: bool
+
+    @property
+    def count(self) -> int:
+        return len(self.states)
+
+
+@dataclass
+class GroundTruth:
+    """Full verdict inventory of a stateful search — the oracle the
+    stateless strategies are validated against (tests/helpers.py)."""
+
+    #: Every reachable state signature.
+    states: FrozenSet[Hashable]
+    #: Signatures of states with no enabled thread (normal termination
+    #: and deadlocks together — "where executions can end").
+    terminal_states: FrozenSet[Hashable]
+    #: The deadlocked subset of ``terminal_states``.
+    deadlock_states: FrozenSet[Hashable]
+    #: Distinct violation messages (property failures and crashes).
+    violation_messages: FrozenSet[str]
     executions: int
     transitions: int
     complete: bool
@@ -65,20 +89,24 @@ def reachable_states(
     return frozenset(seen)
 
 
-def stateful_state_count(
+def stateful_search(
     program: Program,
     *,
     preemption_bound: Optional[int] = None,
     depth_bound: Optional[int] = None,
     max_executions: Optional[int] = None,
-) -> StatefulSearchResult:
-    """Enumerate reachable state signatures of a replayable program.
+) -> GroundTruth:
+    """Stateful enumeration with full verdict bookkeeping.
 
-    The program must expose a *precise* ``state_signature`` (two states
-    with equal signatures must have identical future behavior), as the
-    paper's manually instrumented examples do.
+    Same walk as :func:`stateful_state_count`, additionally collecting
+    the terminal/deadlock state signatures and the distinct violation
+    messages — everything the coverage oracle compares a stateless
+    search against.
     """
     states: Set[Hashable] = set()
+    terminal: Set[Hashable] = set()
+    deadlocked: Set[Hashable] = set()
+    violations: Set[str] = set()
     visited_keys: Set[Hashable] = set()
     executions = 0
     transitions = 0
@@ -86,6 +114,7 @@ def stateful_state_count(
         depth_bound=depth_bound,
         on_depth_exceeded="prune",
         preemption_bound=preemption_bound,
+        keep_instance=True,
     )
 
     guide: Optional[list] = []
@@ -128,14 +157,51 @@ def stateful_state_count(
         )
         executions += 1
         transitions += record.steps
+        if record.outcome in (Outcome.TERMINATED, Outcome.DEADLOCK):
+            signature = record.final_instance.state_signature()
+            terminal.add(signature)
+            if record.outcome is Outcome.DEADLOCK:
+                deadlocked.add(signature)
+        elif record.outcome is Outcome.VIOLATION:
+            violations.add(str(record.violation))
         if max_executions is not None and executions >= max_executions:
             complete = False
             break
         guide = next_dfs_guide(record.decisions)
 
-    return StatefulSearchResult(
+    return GroundTruth(
         states=frozenset(states),
+        terminal_states=frozenset(terminal),
+        deadlock_states=frozenset(deadlocked),
+        violation_messages=frozenset(violations),
         executions=executions,
         transitions=transitions,
         complete=complete,
+    )
+
+
+def stateful_state_count(
+    program: Program,
+    *,
+    preemption_bound: Optional[int] = None,
+    depth_bound: Optional[int] = None,
+    max_executions: Optional[int] = None,
+) -> StatefulSearchResult:
+    """Enumerate reachable state signatures of a replayable program.
+
+    The program must expose a *precise* ``state_signature`` (two states
+    with equal signatures must have identical future behavior), as the
+    paper's manually instrumented examples do.
+    """
+    truth = stateful_search(
+        program,
+        preemption_bound=preemption_bound,
+        depth_bound=depth_bound,
+        max_executions=max_executions,
+    )
+    return StatefulSearchResult(
+        states=truth.states,
+        executions=truth.executions,
+        transitions=truth.transitions,
+        complete=truth.complete,
     )

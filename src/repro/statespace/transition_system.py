@@ -12,7 +12,7 @@ States must be hashable values; transition functions must be pure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Hashable, Tuple
+from typing import Callable, Dict, FrozenSet, Hashable, Optional, Tuple
 
 State = Hashable
 Tid = Hashable
@@ -27,6 +27,20 @@ class ThreadSpec:
     #: The paper's ``yield(t)``: executing the thread from this state is a
     #: yielding transition.  Only consulted when ``enabled`` holds.
     is_yield: Callable[[State], bool] = staticmethod(lambda state: False)
+    #: Resource footprint of the thread's next transition from a state —
+    #: a tuple of hashable resource ids (disjoint footprints ⇒ the
+    #: transitions commute).  ``None`` means *undeclared*: partial-order
+    #: strategies must treat the thread as dependent with everything.
+    #: The declaration is a soundness contract, not a hint — two
+    #: transitions with disjoint declared footprints must genuinely
+    #: commute from every state where both are enabled.
+    resources: Optional[Callable[[State], Tuple]] = None
+    #: Whether the thread is *finished* (can never become enabled again
+    #: from this state, in any extension).  ``None`` means unknown —
+    #: partial-order strategies must conservatively assume the thread
+    #: may still act.  A disabled-but-live thread's pending transition
+    #: participates in race analysis; a finished thread's does not.
+    live: Optional[Callable[[State], bool]] = None
 
 
 class TransitionSystem:
@@ -59,6 +73,25 @@ class TransitionSystem:
             raise ValueError(f"thread {tid!r} is not enabled in {state!r}")
         return spec.step(state)
 
+    def pending_resources(self, state: State, tid: Tid) -> Optional[Tuple]:
+        """Declared footprint of ``tid``'s next transition, or None."""
+        spec = self.threads[tid]
+        if spec.resources is None:
+            return None
+        return spec.resources(state)
+
+    def live_threads(self, state: State) -> FrozenSet[Tid]:
+        """Threads that may still take a step in some extension.
+
+        A thread with no ``live`` predicate is conservatively counted as
+        live — claiming it finished when it could re-enable would hide
+        its pending transition from partial-order race analysis.
+        """
+        return frozenset(
+            tid for tid, spec in self.threads.items()
+            if spec.live is None or spec.live(state)
+        )
+
     def __repr__(self) -> str:
         return f"<TransitionSystem {self.name} threads={sorted(map(repr, self.threads))}>"
 
@@ -72,13 +105,20 @@ def pc_program(
 
     The state is ``(shared, pcs)`` where ``pcs`` maps thread id to program
     counter.  Each thread's table is a tuple of instructions, one per pc;
-    an instruction is ``(guard, effect, next_pc, is_yield)`` with
+    an instruction is ``(guard, effect, next_pc, is_yield)`` or
+    ``(guard, effect, next_pc, is_yield, resources)`` with
 
     * ``guard(shared) -> bool`` — thread enabled at this pc iff true;
     * ``effect(shared) -> shared`` — the state update;
     * ``next_pc`` — either an int, or a callable ``(shared) -> int`` for
       branches (evaluated on the *pre*-effect shared value);
-    * ``is_yield`` — whether executing this instruction yields.
+    * ``is_yield`` — whether executing this instruction yields;
+    * ``resources`` — optional footprint declaration for partial-order
+      reduction: a tuple of resource ids, or ``(shared) -> tuple``.
+      Omitted (4-tuple) means undeclared — the instruction is treated as
+      dependent with everything.  Declaring a footprint asserts that the
+      guard, effect and next_pc of this instruction read and write only
+      the named resources.
 
     A pc equal to ``len(table)`` means the thread has terminated (never
     enabled).  This is the format the random-program generator emits.
@@ -108,12 +148,29 @@ def pc_program(
         def step(state):
             shared, pcs = unpack(state)
             pc = pcs[tid]
-            _, effect, next_pc, _ = table[pc]
+            effect, next_pc = table[pc][1], table[pc][2]
             new_shared = effect(shared)
             pcs[tid] = next_pc(shared) if callable(next_pc) else next_pc
             return (new_shared, tuple(pcs[t] for t in tids))
 
-        return ThreadSpec(enabled=enabled, step=step, is_yield=is_yield)
+        def resources(state):
+            shared, pcs = unpack(state)
+            pc = pcs[tid]
+            if pc >= len(table) or len(table[pc]) < 5:
+                return None
+            declared = table[pc][4]
+            return declared(shared) if callable(declared) else declared
+
+        def live(state) -> bool:
+            shared, pcs = unpack(state)
+            return pcs[tid] < len(table)
+
+        declares = any(len(instruction) >= 5 for instruction in table)
+        return ThreadSpec(
+            enabled=enabled, step=step, is_yield=is_yield,
+            resources=resources if declares else None,
+            live=live,
+        )
 
     threads = {tid: make_spec(tid, table) for tid, table in thread_tables.items()}
     initial = (shared_initial, tuple(0 for _ in tids))

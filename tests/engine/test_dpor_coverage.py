@@ -1,0 +1,149 @@
+"""Coverage-oracle validation of source-DPOR (ROADMAP item 4).
+
+Every test here compares the stateless DPOR search against the stateful
+ground truth (:func:`repro.statespace.stateful.stateful_search`): the
+reduction may skip executions, but it must not skip verdicts — every
+reachable terminal state, every deadlock state and every violation
+message the unreduced state-space walk finds must also be found by DPOR.
+The harness lives in ``tests/helpers``
+(:func:`~tests.helpers.assert_dpor_matches_ground_truth`).
+"""
+
+from repro.runtime.api import check
+from repro.runtime.program import VMProgram
+from repro.sync.atomics import SharedVar
+from repro.sync.mutex import Mutex
+from repro.workloads.dining import dining_philosophers
+
+from tests.helpers import (
+    assert_dpor_matches_ground_truth,
+    dfs_coverage,
+    ground_truth,
+    sleepset_coverage,
+)
+
+
+def independent_program(n=2):
+    """n threads on n private locks: one terminal state, n! interleavings."""
+
+    def setup(env):
+        locks = [Mutex(name=f"m{i}") for i in range(n)]
+
+        def worker(m):
+            yield from m.acquire()
+            yield from m.release()
+
+        for i in range(n):
+            env.spawn(worker, locks[i], name=f"w{i}")
+        env.set_state_fn(lambda: tuple(m.owner_name() for m in locks))
+
+    return VMProgram(setup, name=f"independent({n})")
+
+
+def abba_program():
+    """The classic ABBA deadlock: lock order a,b vs b,a."""
+
+    def setup(env):
+        a, b = Mutex(name="a"), Mutex(name="b")
+
+        def left():
+            yield from a.acquire()
+            yield from b.acquire()
+            yield from b.release()
+            yield from a.release()
+
+        def right():
+            yield from b.acquire()
+            yield from a.acquire()
+            yield from a.release()
+            yield from b.release()
+
+        env.spawn(left, name="L")
+        env.spawn(right, name="R")
+        env.set_state_fn(lambda: (a.owner_name(), b.owner_name()))
+
+    return VMProgram(setup, name="abba")
+
+
+def racy_program():
+    """A reader that objects to one specific write interleaving."""
+
+    def setup(env):
+        x = SharedVar(0, name="x")
+
+        def writer():
+            yield from x.set(1)
+            yield from x.set(2)
+
+        def reader():
+            value = yield from x.get()
+            check(value != 1, "saw intermediate")
+
+        env.spawn(writer, name="w")
+        env.spawn(reader, name="r")
+        env.set_state_fn(lambda: x.peek())
+
+    return VMProgram(setup, name="racy")
+
+
+class TestOracleCalibration:
+    """The oracle itself must agree with plain DFS before it is allowed
+    to judge the reduced strategies."""
+
+    def test_dfs_terminal_sets_match_ground_truth(self):
+        for program_factory in (independent_program, abba_program,
+                                racy_program):
+            truth = ground_truth(program_factory())
+            dfs = dfs_coverage(program_factory())
+            assert dfs.complete and truth.complete
+            assert dfs.terminal_states == truth.terminal_states
+            assert dfs.deadlock_states == truth.deadlock_states
+            assert dfs.violation_messages == truth.violation_messages
+
+
+class TestDporCoverage:
+    def test_independent_threads(self):
+        truth, dpor, por = assert_dpor_matches_ground_truth(
+            independent_program(3))
+        assert len(truth.terminal_states) == 1
+        # Three fully independent threads: DPOR collapses the 3! orders.
+        assert dpor.executions < por.executions
+
+    def test_abba_deadlocks(self):
+        truth, dpor, por = assert_dpor_matches_ground_truth(abba_program())
+        assert truth.deadlock_states, "abba must deadlock"
+        assert dpor.deadlock_states == truth.deadlock_states
+        assert dpor.executions < por.executions
+
+    def test_racy_violation(self):
+        truth, dpor, _ = assert_dpor_matches_ground_truth(racy_program())
+        assert truth.violation_messages == frozenset(
+            {"saw intermediate"})
+        assert dpor.violation_messages == truth.violation_messages
+
+    def test_dining_philosophers(self):
+        truth, dpor, por = assert_dpor_matches_ground_truth(
+            dining_philosophers(2), depth_bound=300)
+        # The paper-scale reduction: an order of magnitude fewer
+        # executions than sleep sets on the same workload.
+        assert dpor.executions * 10 <= por.executions
+
+
+class TestPorAudit:
+    """Sleep sets prune redundant transitions, never states: its state
+    coverage must equal the ground truth's exactly (regression guard for
+    the sleep-set filter in por.py)."""
+
+    def test_sleepset_state_coverage_is_exhaustive(self):
+        for program_factory, depth in ((independent_program, 500),
+                                       (abba_program, 500),
+                                       (racy_program, 500)):
+            truth = ground_truth(program_factory())
+            por = sleepset_coverage(program_factory(), depth_bound=depth)
+            assert por.complete
+            assert por.states == truth.states
+
+    def test_sleepset_state_coverage_on_dining(self):
+        truth = ground_truth(dining_philosophers(2))
+        por = sleepset_coverage(dining_philosophers(2), depth_bound=300)
+        assert por.states == truth.states

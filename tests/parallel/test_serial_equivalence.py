@@ -8,9 +8,9 @@ is preserved.  This suite checks those promises differentially for
 every strategy at workers 1, 2, and 4 on three workloads of the paper's
 evaluation (dining philosophers, bounded buffer, work-stealing queue).
 
-Sleep-set POR ignores the preemption bound, which makes the wsq tree
-enormous; the wsq rows therefore skip ``por`` (a serial limitation, not
-a parallel one).
+Sleep-set POR and source-DPOR ignore the preemption bound, which makes
+the wsq tree enormous; the wsq rows therefore skip ``por`` and ``dpor``
+(a serial limitation, not a parallel one).
 """
 
 import pytest
@@ -35,12 +35,12 @@ WORKLOADS = {
 }
 
 #: Counted-sweep matrix: every strategy on every workload, except the
-#: prohibitively slow por x wsq pairing (see module docstring).
+#: prohibitively slow por/dpor x wsq pairings (see module docstring).
 COUNTED = [
     (workload, strategy)
     for workload in WORKLOADS
-    for strategy in ("dfs", "bfs", "por", "icb", "random")
-    if not (workload == "wsq" and strategy in ("por", "bfs"))
+    for strategy in ("dfs", "bfs", "por", "icb", "random", "dpor")
+    if not (workload == "wsq" and strategy in ("por", "bfs", "dpor"))
 ]
 
 

@@ -1,0 +1,131 @@
+"""Source-DPOR soundness over random programs (hypothesis).
+
+Three claims, each over seeds drawn by hypothesis:
+
+* on random *partitioned* systems (honest per-instruction footprints,
+  forward-only control flow) DPOR reaches exactly the terminal states,
+  deadlock states and violations of the stateful ground truth, with at
+  most as many executions as unreduced DFS;
+* on arbitrary random systems (no declared footprints — everything
+  conservatively dependent) DPOR degrades gracefully: identical verdict
+  inventory to DFS, never more executions;
+* under the *fair* scheduler on good-samaritan spin-loop programs, DPOR
+  and fair DFS agree on divergence reachability — the fairness-pruned
+  blocking of a low-priority thread is never mistaken for a race
+  partner, and reversals deferred by the fair policy are recovered at
+  later nodes.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.policies import fair_policy, nonfair_policy
+from repro.engine.executor import ExecutorConfig
+from repro.engine.results import Outcome
+from repro.engine.strategies import (
+    DporStrategy,
+    ExplorationLimits,
+    explore_dfs,
+)
+from repro.statespace import (
+    TransitionSystemProgram,
+    random_good_samaritan_system,
+    random_partitioned_system,
+    random_system,
+)
+
+from tests.helpers import dfs_coverage, dpor_coverage, ground_truth
+
+SETTINGS = settings(max_examples=25, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+LIMITS = ExplorationLimits(max_executions=50_000,
+                           stop_on_first_violation=False,
+                           stop_on_first_divergence=False)
+
+
+class TestPartitionedSystems:
+    @SETTINGS
+    @given(seed=st.integers(0, 5_000))
+    def test_dpor_matches_ground_truth(self, seed):
+        program = TransitionSystemProgram(random_partitioned_system(seed))
+        truth = ground_truth(program)
+        dpor = dpor_coverage(program, depth_bound=200)
+        assert dpor.complete and truth.complete
+        assert dpor.terminal_states == truth.terminal_states
+        assert dpor.deadlock_states == truth.deadlock_states
+        assert dpor.violation_messages == truth.violation_messages
+        assert dpor.states <= truth.states
+
+    @SETTINGS
+    @given(seed=st.integers(0, 5_000))
+    def test_dpor_never_exceeds_dfs(self, seed):
+        program = TransitionSystemProgram(random_partitioned_system(seed))
+        dpor = dpor_coverage(program, depth_bound=200)
+        dfs = dfs_coverage(program, depth_bound=200)
+        assert dpor.executions <= dfs.executions
+        assert dpor.terminal_states == dfs.terminal_states
+
+
+class TestUndeclaredFootprints:
+    @SETTINGS
+    @given(seed=st.integers(0, 3_000))
+    def test_conservative_dependence_stays_sound(self, seed):
+        # random_system declares no footprints: every pair is dependent,
+        # so the reduction cannot fire — but the machinery (races on
+        # every adjacent pair, wakeup insertion, sleep sets) must still
+        # terminate with the same verdicts as DFS.  Backward jumps make
+        # executions unbounded; restrict to seeds where DFS exhausts the
+        # bounded tree without truncation, since bounded DPOR only
+        # guarantees exhaustiveness when no execution hits the bound.
+        program = TransitionSystemProgram(random_system(seed))
+        dfs = dfs_coverage(program, depth_bound=60, max_executions=4_000)
+        if not dfs.complete:
+            return
+        dfs_raw = explore_dfs(
+            TransitionSystemProgram(random_system(seed)), nonfair_policy(),
+            ExecutorConfig(depth_bound=60, on_depth_exceeded="prune"),
+            LIMITS)
+        if dfs_raw.nonterminating_executions:
+            return
+        dpor = dpor_coverage(program, depth_bound=60)
+        assert dpor.complete
+        assert dpor.terminal_states == dfs.terminal_states
+        assert dpor.deadlock_states == dfs.deadlock_states
+        assert dpor.violation_messages == dfs.violation_messages
+        assert dpor.executions <= dfs.executions
+
+
+class TestFairSpinLoops:
+    @SETTINGS
+    @given(seed=st.integers(0, 2_000))
+    def test_divergence_reachability_matches_fair_dfs(self, seed):
+        # Good-samaritan systems loop forever through yielding
+        # instructions; under the fair scheduler some interleavings
+        # terminate and the rest classify as divergences at the bound.
+        # DPOR composed with the fair policy must find a divergence iff
+        # fair DFS does, and must reach every terminating interleaving's
+        # verdict (same TERMINATED presence).
+        system = random_good_samaritan_system(seed, n_threads=2, n_pcs=2)
+        config = ExecutorConfig(depth_bound=40,
+                                on_depth_exceeded="divergence")
+        dfs = explore_dfs(TransitionSystemProgram(system), fair_policy(),
+                          config, ExplorationLimits(
+                              max_executions=3_000,
+                              stop_on_first_violation=False,
+                              stop_on_first_divergence=False))
+        if dfs.limit_hit:
+            return
+        dpor = DporStrategy(
+            TransitionSystemProgram(system), fair_policy(),
+            limits=ExplorationLimits(max_executions=3_000,
+                                     stop_on_first_violation=False,
+                                     stop_on_first_divergence=False),
+            config=config).explore()
+        if dpor.limit_hit:
+            return
+        assert dpor.complete == dfs.complete
+        assert ((dpor.outcomes[Outcome.DIVERGENCE] > 0)
+                == (dfs.outcomes[Outcome.DIVERGENCE] > 0))
+        assert ((dpor.outcomes[Outcome.TERMINATED] > 0)
+                == (dfs.outcomes[Outcome.TERMINATED] > 0))
+        assert dpor.executions <= dfs.executions

@@ -22,6 +22,7 @@ from repro.engine.executor import ExecutorConfig
 from repro.engine.strategies import (
     BfsStrategy,
     DfsStrategy,
+    DporStrategy,
     ExplorationLimits,
     IcbStrategy,
     RandomWalkStrategy,
@@ -36,7 +37,7 @@ from repro.resilience import (
 from repro.workloads.dining import dining_philosophers
 
 CONFIG = ExecutorConfig(depth_bound=300)
-STRATEGIES = ["dfs", "bfs", "random", "icb", "por"]
+STRATEGIES = ["dfs", "bfs", "random", "icb", "por", "dpor"]
 #: Executions to run before the listener requests the graceful stop.
 INTERRUPT_AFTER = 7
 
@@ -62,6 +63,10 @@ def build(name, program, *, listener=None, resilience=None):
         return SleepSetStrategy(program, factory, depth_bound=300,
                                 limits=limits, listener=listener,
                                 resilience=resilience)
+    if name == "dpor":
+        return DporStrategy(program, factory, depth_bound=300,
+                            limits=limits, listener=listener,
+                            resilience=resilience)
     raise AssertionError(name)
 
 
