@@ -361,12 +361,14 @@ def hotpath_replay(
 
     Both runs must agree on verdict, executions and transitions — the
     cache is a pure optimization, so a mismatch raises instead of being
-    reported as a (meaningless) timing.  The interesting number is
-    ``executions.replayed_steps``: prefix transitions re-executed through
-    the full scheduling loop.  With the cache on, transitions carried by
-    ``fast_forward`` land in ``executions.restored_steps`` instead, and
-    the replayed total drops.  Returns a JSON-ready dict with both runs'
-    counters and the replayed-steps reduction ratio.
+    reported as a (meaningless) timing.  Two numbers matter:
+    ``executions.replayed_steps`` (prefix transitions re-executed through
+    the full scheduling loop; with the cache on, transitions carried by
+    ``fast_forward`` land in ``executions.restored_steps`` instead) and
+    the wall-clock ``cache_speedup`` ratio (seconds-off / seconds-on) —
+    machine-relative, so it is comparable across hosts where absolute
+    seconds are not.  Returns a JSON-ready dict with both runs'
+    counters, the replayed-steps reduction ratio and the speedup.
     """
     from repro.checker import Checker
     from repro.obs import Observer
@@ -409,6 +411,9 @@ def hotpath_replay(
             # capture/restore perf_counter pair feeds these histograms.
             "capture_seconds": round(
                 counters.histogram("snapshot.capture.seconds").total, 4),
+            "refresh_seconds": round(
+                counters.histogram(
+                    "snapshot.capture.refresh.seconds").total, 4),
             "restore_seconds": round(
                 counters.histogram("snapshot.restore.seconds").total, 4),
             "captured_bytes": counters.counter("snapshot.captured_bytes").value,
@@ -428,6 +433,9 @@ def hotpath_replay(
     replayed_on = int(runs[-1]["replayed_steps"])
     reduction = (float(replayed_off) / replayed_on
                  if replayed_on else float(replayed_off or 1))
+    seconds_off = float(baseline["seconds"])
+    seconds_on = float(runs[-1]["seconds"])
+    speedup = seconds_off / seconds_on if seconds_on else 0.0
     return {
         "program": program_factory().name,
         "strategy": strategy,
@@ -436,6 +444,10 @@ def hotpath_replay(
         "snapshot_interval": snapshot_interval,
         "runs": runs,
         "replayed_reduction": round(reduction, 2),
+        # Wall-clock ratio off/on: > 1.0 means the cache wins in seconds
+        # on this machine.  A ratio survives host-speed differences, so
+        # it is the gated metric in ``repro bench compare``.
+        "cache_speedup": round(speedup, 2),
     }
 
 

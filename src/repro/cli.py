@@ -183,8 +183,8 @@ def _add_checker_options(parser: argparse.ArgumentParser) -> None:
     performance.add_argument("--snapshot-cache", action="store_true",
                              help="cache prefix snapshots so guided "
                                   "executions skip re-executing shared "
-                                  "prefixes (VM programs only; native "
-                                  "programs fall back to full replay)")
+                                  "prefixes (VM and native-thread "
+                                  "programs)")
     performance.add_argument("--snapshot-interval", type=int, default=16,
                              metavar="N",
                              help="snapshot every N transitions along an "

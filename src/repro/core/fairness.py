@@ -31,16 +31,28 @@ representation: callers feed it the observations of each transition
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, Set
+from typing import Dict, FrozenSet, Hashable, Iterable, Tuple
 
 from repro.core.model import StepInfo
 from repro.core.priority import PriorityRelation
 
 Tid = Hashable
 
+_EMPTY: FrozenSet = frozenset()
+
 
 class FairSchedulerState:
-    """Mutable state of Algorithm 1 for one execution."""
+    """Mutable state of Algorithm 1 for one execution.
+
+    The per-thread window sets ``E``/``D``/``S`` are stored as immutable
+    frozensets replaced copy-on-write: an update that changes nothing
+    costs a set comparison, an update that changes something rebinds one
+    dict slot to a fresh frozenset.  That layout makes
+    :meth:`snapshot_state` a handful of shallow dict copies whose values
+    are *shared* between the live state and every snapshot — the
+    structural sharing behind the engine's O(changed) prefix-snapshot
+    capture (docs/performance.md).
+    """
 
     __slots__ = ("priority", "_E", "_D", "_S", "_window_open", "_check_acyclic")
 
@@ -51,9 +63,9 @@ class FairSchedulerState:
         check_acyclic: bool = False,
     ) -> None:
         self.priority = PriorityRelation()
-        self._E: Dict[Tid, Set[Tid]] = {}
-        self._D: Dict[Tid, Set[Tid]] = {}
-        self._S: Dict[Tid, Set[Tid]] = {}
+        self._E: Dict[Tid, FrozenSet[Tid]] = {}
+        self._D: Dict[Tid, FrozenSet[Tid]] = {}
+        self._S: Dict[Tid, FrozenSet[Tid]] = {}
         self._window_open: Dict[Tid, bool] = {}
         self._check_acyclic = check_acyclic
         for t in threads:
@@ -64,9 +76,9 @@ class FairSchedulerState:
         """Install the paper's initial values for a (possibly new) thread."""
         if t in self._window_open:
             return
-        self._E[t] = set()
-        self._D[t] = set()
-        self._S[t] = set()
+        self._E[t] = _EMPTY
+        self._D[t] = _EMPTY
+        self._S[t] = _EMPTY
         # Closed window encodes D(t) = S(t) = Tid: the first yield of t
         # opens the window and adds no priority edges.
         self._window_open[t] = False
@@ -94,15 +106,22 @@ class FairSchedulerState:
         enabled_after = info.enabled_after
 
         # Lines 14–22: update E, D, S for every thread's open window.
+        # Copy-on-write: a window set is replaced only when it actually
+        # changes, so unchanged frozensets keep being shared with any
+        # snapshots that captured them.
         for u, is_open in self._window_open.items():
             if not is_open:
                 continue  # closed window: E stays ∅, D = S = Tid implicitly
-            self._E[u].intersection_update(enabled_after)
-            self._S[u].add(t)
+            E = self._E[u]
+            if not E <= enabled_after:
+                self._E[u] = E & enabled_after
+            S = self._S[u]
+            if t not in S:
+                self._S[u] = S | {t}
         if self._window_open.get(t):
             disabled_now = info.enabled_before - enabled_after
-            if disabled_now:
-                self._D[t].update(disabled_now)
+            if disabled_now and not disabled_now <= self._D[t]:
+                self._D[t] = self._D[t] | disabled_now
 
         # Lines 23–29: yielding transition ends t's window.
         if info.yielded:
@@ -118,9 +137,9 @@ class FairSchedulerState:
                     )
             else:
                 self._window_open[t] = True
-            self._E[t] = set(enabled_after)
-            self._D[t] = set()
-            self._S[t] = set()
+            self._E[t] = frozenset(enabled_after)
+            self._D[t] = _EMPTY
+            self._S[t] = _EMPTY
 
     # ------------------------------------------------------------------
     # Introspection (used by tests and the Figure 4 emulation harness).
@@ -130,19 +149,52 @@ class FairSchedulerState:
 
     def continuously_enabled(self, t: Tid) -> FrozenSet[Tid]:
         """``E(t)`` (empty while the window is closed, as in the paper)."""
-        return frozenset(self._E.get(t, ()))
+        return self._E.get(t, _EMPTY)
 
     def disabled_by(self, t: Tid) -> FrozenSet[Tid]:
         """``D(t)``; ``Tid`` (all known threads) while the window is closed."""
         if not self._window_open.get(t, False):
             return self.known_threads()
-        return frozenset(self._D[t])
+        return self._D[t]
 
     def scheduled_since_yield(self, t: Tid) -> FrozenSet[Tid]:
         """``S(t)``; ``Tid`` while the window is closed."""
         if not self._window_open.get(t, False):
             return self.known_threads()
-        return frozenset(self._S[t])
+        return self._S[t]
+
+    # ------------------------------------------------------------------
+    # Persistent-snapshot protocol (docs/performance.md)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Tuple:
+        """Capture (P, E, D, S, windows) with structural sharing.
+
+        Five shallow dict copies; every value is an immutable frozenset
+        (or bool) shared with the live state.  Cost is O(threads), not
+        O(total set contents), and consecutive snapshots share all
+        unchanged per-thread entries.
+        """
+        return (
+            self.priority.snapshot_state(),
+            dict(self._E),
+            dict(self._D),
+            dict(self._S),
+            dict(self._window_open),
+        )
+
+    def restore_state(self, state: Tuple) -> None:
+        """Adopt a :meth:`snapshot_state` value — O(threads), like capture.
+
+        The snapshot's dicts are copied (so the restored state can keep
+        mutating copy-on-write without touching the cached entry); the
+        frozenset values are shared, never copied.
+        """
+        priority_state, E, D, S, window_open = state
+        self.priority.restore_state(priority_state)
+        self._E = dict(E)
+        self._D = dict(D)
+        self._S = dict(S)
+        self._window_open = dict(window_open)
 
     def snapshot(self) -> Dict[str, object]:
         """A readable dump of (P, E, D, S) for traces and the Fig. 4 test."""

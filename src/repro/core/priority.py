@@ -15,9 +15,11 @@ invariant directly.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Mapping, Set, Tuple
 
 Tid = Hashable
+
+_EMPTY: FrozenSet = frozenset()
 
 
 class PriorityRelation:
@@ -25,12 +27,20 @@ class PriorityRelation:
 
     ``self._out[t]`` is the set of threads ``u`` with ``(t, u)`` in the
     relation, i.e. the threads that currently outrank ``t``.
+
+    The out-edge sets are stored as *immutable* frozensets and replaced
+    (never mutated in place) on every update.  This copy-on-write layout
+    is what makes :meth:`snapshot_state` O(threads-with-edges): a
+    snapshot is a shallow dict copy whose values are shared with the
+    live relation — and with every other snapshot taken while those
+    entries stay unchanged (structural sharing, see
+    ``docs/performance.md``).
     """
 
     __slots__ = ("_out",)
 
     def __init__(self, edges: Iterable[Tuple[Tid, Tid]] = ()) -> None:
-        self._out: Dict[Tid, Set[Tid]] = {}
+        self._out: Dict[Tid, FrozenSet[Tid]] = {}
         for t, u in edges:
             self.add_edge(t, u)
 
@@ -41,13 +51,17 @@ class PriorityRelation:
         """Add the edge ``(t, u)``: deprioritize ``t`` below ``u``."""
         if t == u:
             raise ValueError("a thread cannot be deprioritized below itself")
-        self._out.setdefault(t, set()).add(u)
+        current = self._out.get(t, _EMPTY)
+        if u not in current:
+            self._out[t] = current | {u}
 
     def add_edges(self, t: Tid, targets: Iterable[Tid]) -> None:
         """Add edges ``{t} × targets`` (line 25 of Algorithm 1)."""
-        targets = set(targets) - {t}
+        targets = frozenset(targets) - {t}
         if targets:
-            self._out.setdefault(t, set()).update(targets)
+            current = self._out.get(t, _EMPTY)
+            if not targets <= current:
+                self._out[t] = current | targets
 
     def remove_sink(self, t: Tid) -> None:
         """Remove every edge whose sink is ``t`` (line 13 of Algorithm 1).
@@ -55,13 +69,14 @@ class PriorityRelation:
         Scheduling ``t`` lowers its relative priority: threads that were
         waiting for ``t`` to be disabled are released.
         """
-        empty = []
-        for src, targets in self._out.items():
-            targets.discard(t)
-            if not targets:
-                empty.append(src)
-        for src in empty:
-            del self._out[src]
+        for src in list(self._out):
+            targets = self._out[src]
+            if t in targets:
+                remaining = targets - {t}
+                if remaining:
+                    self._out[src] = remaining
+                else:
+                    del self._out[src]
 
     def clear(self) -> None:
         self._out.clear()
@@ -71,7 +86,7 @@ class PriorityRelation:
     # ------------------------------------------------------------------
     def successors(self, t: Tid) -> FrozenSet[Tid]:
         """Threads that currently outrank ``t``."""
-        return frozenset(self._out.get(t, ()))
+        return self._out.get(t, _EMPTY)
 
     def blocked(self, enabled: FrozenSet[Tid]) -> Set[Tid]:
         """``pre(P, enabled)``: threads blocked by an enabled higher-priority
@@ -124,8 +139,26 @@ class PriorityRelation:
 
     def copy(self) -> "PriorityRelation":
         clone = PriorityRelation()
-        clone._out = {t: set(targets) for t, targets in self._out.items() if targets}
+        # Values are immutable frozensets: a shallow dict copy is a full
+        # copy as far as any caller can observe.
+        clone._out = {t: targets for t, targets in self._out.items() if targets}
         return clone
+
+    # ------------------------------------------------------------------
+    # Persistent-snapshot protocol (docs/performance.md)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Mapping[Tid, FrozenSet[Tid]]:
+        """An immutable-by-convention snapshot of the relation.
+
+        O(threads-with-edges): the frozenset values are shared, not
+        copied, so snapshots taken while the relation is quiescent cost
+        a small dict copy and nothing else.
+        """
+        return dict(self._out)
+
+    def restore_state(self, state: Mapping[Tid, FrozenSet[Tid]]) -> None:
+        """Adopt a :meth:`snapshot_state` value (shared, never mutated)."""
+        self._out = dict(state)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PriorityRelation):

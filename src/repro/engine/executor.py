@@ -17,13 +17,13 @@ is a switch after a voluntary yield.
 
 from __future__ import annotations
 
-import copy
 import random
 from collections import deque
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, List, Optional, Sequence
 
+from repro.chaos.faults import InjectedFault, fault_at
 from repro.core.model import Program, ProgramInstance, RunStatus
 from repro.core.policies import SchedulingPolicy
 from repro.engine.classify import classify_divergence
@@ -230,6 +230,10 @@ def _restore_prefix(
                 monitor(live)
 
         try:
+            rule = fault_at("snapshot.restore", steps=entry.steps)
+            if rule is not None:
+                raise InjectedFault(
+                    f"injected snapshot.restore fault ({rule.kind})")
             forward(entry.decisions, per_step=per_step)
         except Exception:  # noqa: BLE001 - determinism-contract guard
             # The prefix did not replay cleanly, so the program broke the
@@ -297,12 +301,12 @@ def run_execution(
             observer, timers)
 
     if restored is not None:
-        # Resume the engine where the snapshot left off: the policy copy
-        # already saw every prefix step (register_thread included), the
-        # chooser cursor jumps past the restored decisions, and the
-        # coverage tracker replays the prefix's recorded signatures so
-        # totals match a full replay exactly.
-        policy = copy.deepcopy(restored.policy)
+        # Resume the engine where the snapshot left off: the restored
+        # policy state already saw every prefix step (register_thread
+        # included), the chooser cursor jumps past the restored
+        # decisions, and the coverage tracker replays the prefix's
+        # recorded signatures so totals match a full replay exactly.
+        policy = restored.restore_policy(policy)
         chooser.skip(len(restored.decisions))
         decisions: List[Decision] = list(restored.decisions)
         trace: deque = deque(restored.trace, maxlen=config.trace_window)
@@ -428,7 +432,8 @@ def run_execution(
                 timers.add("snapshot", elapsed)
                 if observer is not None:
                     observer.snapshot_capture_timed(
-                        elapsed, snapshot_cache.last_capture_bytes)
+                        elapsed, snapshot_cache.last_capture_bytes,
+                        outcome=snapshot_cache.last_capture_outcome)
         if coverage is not None:
             if timers is not None:
                 t0 = perf_counter()

@@ -3,7 +3,7 @@
 Stateless search pays for its statelessness on every backtrack: the next
 execution shares a long decision prefix with the previous one, and the
 engine re-executes that prefix from step 0 just to get back to the
-frontier.  For the deterministic VM runtime that replay is pure overhead —
+frontier.  For a deterministic runtime that replay is pure overhead —
 the prefix state is a function of the decision sequence alone — so the
 engine can *snapshot* its bookkeeping at decision-depth intervals and
 later fast-forward a fresh instance through the recorded prefix without
@@ -14,24 +14,38 @@ A :class:`PrefixSnapshot` is a **replay-log snapshot**: it does not
 capture Python generator frames (CPython cannot copy them, and thread
 bodies close over shared objects), it captures everything *around* the
 program instance — the recorded :class:`~repro.engine.results.Decision`
-prefix, a deep copy of the scheduling policy, the executor's counters and
-trace tail, and (when coverage is on) the prefix's state signatures.
-Restoring one instantiates the program afresh and drives it through the
-recorded transitions with :meth:`~repro.runtime.vm.VirtualMachine.\
-fast_forward`, which skips every engine-side cost of the prefix.  The
-result is bit-for-bit identical to a full replay: same decisions, same
-coverage totals, same policy state, same trace tail.
+prefix, the scheduling policy's persistent state, the executor's
+counters and trace tail, and (when coverage is on) the prefix's state
+signatures.  Restoring one instantiates the program afresh and drives
+it through the recorded transitions with ``fast_forward`` (implemented
+by both :class:`~repro.runtime.vm.VirtualMachine` and
+:class:`~repro.runtime.native.NativeInstance`), which skips every
+engine-side cost of the prefix.  The result is bit-for-bit identical to
+a full replay: same decisions, same coverage totals, same policy state,
+same trace tail.
+
+Policy state is captured through the persistent-snapshot protocol
+(:meth:`~repro.core.policies.SchedulingPolicy.snapshot_state` /
+``restore_state``): built-in policies store their mutable state as
+dicts of immutable frozensets replaced copy-on-write, so a capture is a
+few shallow dict copies whose values are *shared* between the live
+policy, the cache, and every other entry captured while that state was
+unchanged — O(changed), not O(state).  Policies that do not implement
+the protocol fall back to ``copy.deepcopy`` (correct, just slower).
 
 Applicability is gated by the ``supports_snapshot`` capability flag on
-the program (True for :class:`~repro.runtime.program.VMProgram`, False
-for the native thread runtime, which transparently falls back to full
-replay because OS thread state cannot be reconstructed this way).
+the program (True for :class:`~repro.runtime.program.VMProgram` and
+:class:`~repro.runtime.native.NativeProgram`; any program without the
+flag transparently falls back to full replay).
 
 The cache is bounded two ways: LRU order with a memory budget (entry
-sizes are estimated, not measured), and — for strategies that visit
-guides in lexicographic order (DFS, sleep-set POR, each ICB sweep) —
-eager invalidation of entries that can never match a future guide
-(:meth:`PrefixSnapshotCache.invalidate_not_prefix_of`).  See
+sizes are estimated, not measured; an entry estimated over the whole
+budget is refused outright and counted as ``oversized``), and — for
+strategies that visit guides in lexicographic order (DFS, sleep-set
+POR, each ICB sweep) — eager invalidation of entries that can never
+match a future guide (:meth:`PrefixSnapshotCache.invalidate_not_prefix_of`).
+Lookups walk a prefix trie keyed by decision indices, so the cost is
+O(len(guide)) regardless of how many entries are cached.  See
 ``docs/performance.md``.
 """
 
@@ -40,7 +54,7 @@ from __future__ import annotations
 import copy
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.results import Decision, TraceStep
 
@@ -50,7 +64,7 @@ from repro.engine.results import Decision, TraceStep
 _DECISION_BYTES = 120
 _TRACE_STEP_BYTES = 400
 _SIGNATURE_BYTES = 120
-_BASE_BYTES = 2048  # entry + deep-copied policy state
+_BASE_BYTES = 2048  # entry + captured policy state
 
 
 @dataclass
@@ -65,9 +79,13 @@ class PrefixSnapshot:
     decisions: Tuple[Decision, ...]
     #: Transitions executed in the prefix.
     steps: int
-    #: Deep copy of the scheduling policy at the snapshot point (plain
-    #: data for every built-in policy, so this is cheap and exact).
-    policy: object
+    #: The policy's ``snapshot_state()`` value at the snapshot point —
+    #: a persistent, structurally shared value (None is legal: the
+    #: nonfair policy is stateless).
+    policy_state: object = None
+    #: Deep copy of the whole policy, only for policies that do not
+    #: implement the snapshot protocol.  ``None`` on the fast path.
+    policy_fallback: object = None
     preemptions: int = 0
     yields: int = 0
     last_tid: object = None
@@ -82,6 +100,20 @@ class PrefixSnapshot:
     #: set here).
     extras: Dict[str, object] = field(default_factory=dict)
 
+    def restore_policy(self, policy: object) -> object:
+        """Return a policy carrying this snapshot's state.
+
+        On the fast path the captured persistent state is applied to
+        ``policy`` — the fresh per-execution instance the strategy
+        already built — in O(changed), and that same object is returned.
+        Fallback entries (policies without the protocol) return a deep
+        copy of the captured policy instead.
+        """
+        if self.policy_fallback is not None:
+            return copy.deepcopy(self.policy_fallback)
+        policy.restore_state(self.policy_state)
+        return policy
+
     def estimated_bytes(self) -> int:
         total = _BASE_BYTES
         total += _DECISION_BYTES * len(self.decisions)
@@ -91,6 +123,17 @@ class PrefixSnapshot:
         return total
 
 
+class _TrieNode:
+    """One node of the decision-prefix trie (children keyed by decision
+    index)."""
+
+    __slots__ = ("children", "entry")
+
+    def __init__(self) -> None:
+        self.children: Dict[int, "_TrieNode"] = {}
+        self.entry: Optional[PrefixSnapshot] = None
+
+
 class PrefixSnapshotCache:
     """LRU cache of :class:`PrefixSnapshot` entries, keyed by prefix.
 
@@ -98,6 +141,10 @@ class PrefixSnapshotCache:
     shard) — entries are only valid under the exact executor
     configuration they were captured with, so caches are never shared
     across configurations.
+
+    Entries live in two structures kept in lockstep: an ``OrderedDict``
+    for LRU order, and a prefix trie for O(len(guide)) lookups and
+    prefix-structured invalidation.
     """
 
     def __init__(
@@ -113,16 +160,26 @@ class PrefixSnapshotCache:
         self.memory_budget_bytes = memory_budget_bytes
         self._observer = observer
         self._entries: "OrderedDict[Tuple[int, ...], PrefixSnapshot]" = OrderedDict()
+        self._root = _TrieNode()
         self._bytes = 0
         self.hits = 0
         self.misses = 0
         self.stored = 0
+        self.refreshes = 0
+        self.oversized = 0
         self.evictions = 0
         self.failures = 0
         #: Estimated size of the entry created by the most recent
         #: :meth:`capture` (0 when the call only refreshed an existing
-        #: key).  Read by the executor's cost accounting.
+        #: key, or refused an oversized entry).  Read by the executor's
+        #: cost accounting.
         self.last_capture_bytes = 0
+        #: What the most recent :meth:`capture` did: "stored",
+        #: "refreshed", or "oversized".
+        self.last_capture_outcome = "stored"
+        #: Trie nodes visited by the most recent :meth:`lookup` (tested
+        #: to stay O(len(guide)) however many entries are cached).
+        self.last_lookup_nodes = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -131,9 +188,8 @@ class PrefixSnapshotCache:
         """Build a cache for one strategy, or None when inapplicable.
 
         Returns None unless the config asks for snapshotting *and* the
-        program declares the ``supports_snapshot`` capability (the native
-        thread runtime does not — it silently falls back to full replay,
-        as documented).
+        program declares the ``supports_snapshot`` capability (a program
+        without it silently falls back to full replay, as documented).
         """
         if config is None or not getattr(config, "snapshot_cache", False):
             return None
@@ -162,28 +218,77 @@ class PrefixSnapshotCache:
             "hits": self.hits,
             "misses": self.misses,
             "stored": self.stored,
+            "refreshes": self.refreshes,
+            "oversized": self.oversized,
             "evictions": self.evictions,
             "failures": self.failures,
         }
+
+    # ------------------------------------------------------------------
+    # Trie maintenance (every entry lives at the trie node reached by
+    # walking its key from the root).
+    # ------------------------------------------------------------------
+    def _trie_insert(self, snapshot: PrefixSnapshot) -> None:
+        node = self._root
+        for index in snapshot.key:
+            child = node.children.get(index)
+            if child is None:
+                child = node.children[index] = _TrieNode()
+            node = child
+        node.entry = snapshot
+
+    def _trie_remove(self, key: Tuple[int, ...]) -> None:
+        path: List[Tuple[_TrieNode, int]] = []
+        node = self._root
+        for index in key:
+            child = node.children.get(index)
+            if child is None:
+                return  # not present (defensive)
+            path.append((node, index))
+            node = child
+        node.entry = None
+        # Prune now-empty nodes bottom-up so dead branches don't slow
+        # future lookups or leak memory.
+        while path and node.entry is None and not node.children:
+            parent, index = path.pop()
+            del parent.children[index]
+            node = parent
+
+    @staticmethod
+    def _collect_subtree(node: _TrieNode,
+                         out: List[PrefixSnapshot]) -> None:
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.entry is not None:
+                out.append(current.entry)
+            stack.extend(current.children.values())
 
     # ------------------------------------------------------------------
     def lookup(self, guide: Sequence[int], *,
                need_signatures: bool = False) -> Optional[PrefixSnapshot]:
         """The deepest snapshot whose key is a prefix of ``guide``.
 
+        A single walk down the prefix trie: O(len(guide)) regardless of
+        entry count (``last_lookup_nodes`` records the nodes visited).
+
         ``need_signatures`` restricts the match to entries that recorded
         coverage signatures (a coverage-tracking run cannot restore from
         an entry captured without them — the totals would drift).
         """
-        guide = tuple(guide)
         best: Optional[PrefixSnapshot] = None
-        for key, entry in self._entries.items():
-            if len(key) > len(guide) or key != guide[:len(key)]:
-                continue
-            if need_signatures and entry.signatures is None:
-                continue
-            if best is None or len(key) > len(best.key):
+        node = self._root
+        visited = 0
+        for index in guide:
+            node = node.children.get(index)
+            if node is None:
+                break
+            visited += 1
+            entry = node.entry
+            if entry is not None and not (need_signatures
+                                          and entry.signatures is None):
                 best = entry
+        self.last_lookup_nodes = visited
         if best is None:
             self.misses += 1
             return None
@@ -206,19 +311,36 @@ class PrefixSnapshotCache:
         extras: Optional[Dict[str, object]] = None,
     ) -> bool:
         """Store a snapshot of the current executor state; returns True
-        when a new entry was created (False: the key was already cached,
-        which only refreshes its LRU position — no policy copy is made).
+        when a new entry was created.
+
+        False means the call was a no-op for the cache's contents:
+        either the key was already cached (only its LRU position is
+        refreshed — no policy state is captured) or the entry's
+        estimated size exceeds the whole memory budget, in which case it
+        is refused rather than stored (an entry the budget cannot hold
+        would otherwise pin the cache over budget forever).  The
+        ``last_capture_outcome`` attribute distinguishes the cases for
+        the caller's cost accounting.
         """
         key = tuple(d.index for d in decisions)
         if key in self._entries:
             self._entries.move_to_end(key)
             self.last_capture_bytes = 0
+            self.last_capture_outcome = "refreshed"
+            self.refreshes += 1
             return False
+        try:
+            policy_state = policy.snapshot_state()
+            policy_fallback = None
+        except (AttributeError, NotImplementedError):
+            policy_state = None
+            policy_fallback = copy.deepcopy(policy)
         snapshot = PrefixSnapshot(
             key=key,
             decisions=tuple(decisions),
             steps=steps,
-            policy=copy.deepcopy(policy),
+            policy_state=policy_state,
+            policy_fallback=policy_fallback,
             preemptions=preemptions,
             yields=yields,
             last_tid=last_tid,
@@ -228,9 +350,19 @@ class PrefixSnapshotCache:
                         else None),
             extras=dict(extras or {}),
         )
+        estimated = snapshot.estimated_bytes()
+        if estimated > self.memory_budget_bytes:
+            self.last_capture_bytes = 0
+            self.last_capture_outcome = "oversized"
+            self.oversized += 1
+            if self._observer is not None:
+                self._observer.snapshot_oversized(estimated)
+            return False
         self._entries[key] = snapshot
-        self.last_capture_bytes = snapshot.estimated_bytes()
-        self._bytes += self.last_capture_bytes
+        self._trie_insert(snapshot)
+        self.last_capture_bytes = estimated
+        self.last_capture_outcome = "stored"
+        self._bytes += estimated
         self.stored += 1
         if self._observer is not None:
             self._observer.snapshot_stored(len(self._entries), self._bytes)
@@ -238,9 +370,12 @@ class PrefixSnapshotCache:
         return True
 
     def _evict_over_budget(self) -> None:
+        # Oversized entries are refused at capture time, so evicting
+        # oldest-first always terminates with the cache within budget.
         evicted = 0
-        while self._bytes > self.memory_budget_bytes and len(self._entries) > 1:
-            _, entry = self._entries.popitem(last=False)
+        while self._bytes > self.memory_budget_bytes and self._entries:
+            key, entry = self._entries.popitem(last=False)
+            self._trie_remove(key)
             self._bytes -= entry.estimated_bytes()
             evicted += 1
         if evicted:
@@ -258,14 +393,24 @@ class PrefixSnapshotCache:
         sequence starts with ``guide``, and all cached keys come from
         lexicographically earlier executions — an entry that diverges
         from ``guide`` diverges downward and can never match again.
+
+        Survivors are exactly the keys along the guide path plus the
+        subtree below its end (keys *extending* the guide), so this is a
+        single walk pruning the diverging side-branches.
         """
         guide = tuple(guide)
-        dead = [
-            key for key in self._entries
-            if key[:len(guide)] != guide[:len(key)]
-        ]
-        for key in dead:
-            self._bytes -= self._entries.pop(key).estimated_bytes()
+        dead: List[PrefixSnapshot] = []
+        node = self._root
+        for index in guide:
+            for branch in list(node.children):
+                if branch != index:
+                    self._collect_subtree(node.children.pop(branch), dead)
+            node = node.children.get(index)
+            if node is None:
+                break
+        for entry in dead:
+            del self._entries[entry.key]
+            self._bytes -= entry.estimated_bytes()
         if dead:
             self.evictions += len(dead)
             if self._observer is not None:
@@ -279,4 +424,5 @@ class PrefixSnapshotCache:
         if failure:
             self.failures += 1
         self._entries.clear()
+        self._root = _TrieNode()
         self._bytes = 0

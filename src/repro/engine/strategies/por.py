@@ -28,10 +28,10 @@ chosen index ``k``, the already-explored siblings are exactly
 
 from __future__ import annotations
 
-import copy
 import time
 from typing import Callable, List, Optional, Set
 
+from repro.chaos.faults import InjectedFault, fault_at
 from repro.core.model import Program, RunStatus
 from repro.core.policies import PolicyFactory
 from repro.engine.coverage import CoverageTracker
@@ -96,6 +96,10 @@ def _run_once_with_sleep(
             guide, need_signatures=coverage is not None)
         if restored is not None:
             try:
+                rule = fault_at("snapshot.restore", steps=restored.steps)
+                if rule is not None:
+                    raise InjectedFault(
+                        f"injected snapshot.restore fault ({rule.kind})")
                 instance.fast_forward(restored.decisions, run_monitors=False)
             except Exception:  # noqa: BLE001 - determinism-contract guard
                 snapshot_cache.clear(failure=True)
@@ -112,7 +116,7 @@ def _run_once_with_sleep(
                 restored.steps if restored is not None else 0)
 
     if restored is not None:
-        policy = copy.deepcopy(restored.policy)
+        policy = restored.restore_policy(policy)
         decisions: List[Decision] = list(restored.decisions)
         trace: List[TraceStep] = list(restored.trace)
         sleep: Set = set(restored.extras.get("sleep", ()))

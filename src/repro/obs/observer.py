@@ -401,6 +401,14 @@ class Observer:
     def snapshot_evicted(self, count: int) -> None:
         self.metrics.counter("snapshot.evictions").inc(count)
 
+    def snapshot_oversized(self, estimated_bytes: int) -> None:
+        """An entry was refused because its estimated size alone exceeds
+        the cache's memory budget (storing it would pin the cache over
+        budget forever)."""
+        self.metrics.counter("snapshot.oversized").inc()
+        self.metrics.counter("snapshot.oversized_bytes").inc(
+            estimated_bytes)
+
     def prefix_replayed(self, steps: int) -> None:
         """Prefix transitions re-executed through the full engine loop
         (the cost the snapshot cache removes; counted even with the cache
@@ -408,14 +416,26 @@ class Observer:
         self.metrics.counter("executions.replayed_steps").inc(steps)
 
     def snapshot_capture_timed(self, seconds: float,
-                               estimated_bytes: int) -> None:
+                               estimated_bytes: int,
+                               outcome: str = "stored") -> None:
         """Measured cost of one snapshot capture (docs/profiling.md).
 
         Fed by the same ``perf_counter`` pair that feeds the ``snapshot``
-        phase timer, so capture + restore histogram sums account for the
-        phase total.
+        phase timer, so capture + refresh + restore histogram sums
+        account for the phase total.  ``outcome`` distinguishes captures
+        that stored a new entry from refresh-only calls (the key was
+        already cached — an LRU touch, no state captured) and refused
+        oversized entries, so the amortization report doesn't charge
+        refreshes as if they copied state.
         """
-        self.metrics.histogram("snapshot.capture.seconds").record(seconds)
+        if outcome == "stored":
+            self.metrics.histogram("snapshot.capture.seconds").record(
+                seconds)
+        else:
+            if outcome == "refreshed":
+                self.metrics.counter("snapshot.refreshes").inc()
+            self.metrics.histogram("snapshot.capture.refresh.seconds"
+                                   ).record(seconds)
         if estimated_bytes:
             self.metrics.counter("snapshot.captured_bytes").inc(
                 estimated_bytes)

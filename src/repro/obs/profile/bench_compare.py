@@ -8,14 +8,17 @@ comparator understands the shared BENCH schema (top-level ``bench`` /
 their identity field — ``snapshot_cache`` for hotpath, ``workers`` for
 parallel) and applies per-metric direction rules:
 
-* ``seconds``, ``replayed_steps`` — lower is better, compared with a
-  relative noise tolerance (default ±20%);
-* ``speedup``, ``replayed_reduction`` — higher is better, same
-  tolerance;
+* ``seconds`` — lower is better, compared with a relative noise
+  tolerance (default ±20%);
+* ``speedup``, ``replayed_reduction``, ``cache_speedup`` — higher is
+  better, same tolerance.  ``cache_speedup`` (wall-off / wall-on) is
+  the hotpath's gated wall-clock metric: a ratio measured on one host
+  transfers to another, where absolute seconds do not;
 * ``ok``, ``executions``, ``transitions`` — determinism contract:
   any mismatch is a regression regardless of tolerance;
-* ``restored_steps``, ``snapshot_hits``, ``snapshot_misses`` —
-  informational;
+* ``replayed_steps``, ``restored_steps``, ``snapshot_hits``,
+  ``snapshot_misses`` — informational (the replayed-step cut is already
+  gated through the ``replayed_reduction`` ratio);
 * provenance/config fields (``host``, ``cpu_count``, ``scale``,
   ``depth_bound``, ...) — differences become warnings, never
   regressions, because a config drift makes the timing comparison
@@ -40,18 +43,18 @@ NOISE_FLOOR_SECONDS = 0.02
 #: metric -> "lower" | "higher" (which direction is better).
 _DIRECTION = {
     "seconds": "lower",
-    "replayed_steps": "lower",
     "speedup": "higher",
     "replayed_reduction": "higher",
+    "cache_speedup": "higher",
 }
 
 #: Determinism contract: must match exactly between runs.
 _EXACT = ("ok", "executions", "transitions")
 
 #: Interesting but not gated.
-_INFO = ("restored_steps", "snapshot_hits", "snapshot_misses",
-         "capture_seconds", "restore_seconds", "captured_bytes",
-         "restored_bytes")
+_INFO = ("replayed_steps", "restored_steps", "snapshot_hits",
+         "snapshot_misses", "capture_seconds", "refresh_seconds",
+         "restore_seconds", "captured_bytes", "restored_bytes")
 
 #: Entry/document fields treated as provenance: drift warns.
 _PROVENANCE = (

@@ -81,7 +81,8 @@ class VMProgram(Program):
 
     #: VM executions are a pure function of the decision sequence, so the
     #: engine's prefix-snapshot cache applies (docs/performance.md).  The
-    #: native thread runtime advertises False and always fully replays.
+    #: native thread runtime advertises the same capability through its
+    #: own replay-log ``fast_forward`` (see :mod:`repro.runtime.native`).
     supports_snapshot = True
 
     def __init__(self, setup: Callable[[ProgramEnv], Any],

@@ -153,6 +153,10 @@ class VirtualMachine(ProgramInstance):
                      run_monitors: bool = True) -> int:
         """Replay a recorded decision prefix without the engine loop.
 
+        This is the reference implementation of the replay-log snapshot
+        restore; :meth:`repro.runtime.native.NativeInstance.fast_forward`
+        mirrors it for real OS threads.
+
         ``decisions`` is a sequence of engine
         :class:`~repro.engine.results.Decision` records: ``"thread"``
         decisions name the tid to step (``chosen``), ``"data"`` decisions

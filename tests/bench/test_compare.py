@@ -26,12 +26,13 @@ def hotpath_doc():
                  "executions": 250, "transitions": 4000,
                  "replayed_steps": 3000, "restored_steps": 0,
                  "snapshot_hits": 0, "snapshot_misses": 0},
-                {"snapshot_cache": True, "seconds": 0.6, "ok": True,
+                {"snapshot_cache": True, "seconds": 0.4, "ok": True,
                  "executions": 250, "transitions": 4000,
                  "replayed_steps": 400, "restored_steps": 2500,
                  "snapshot_hits": 60, "snapshot_misses": 2},
             ],
             "replayed_reduction": 7.5,
+            "cache_speedup": 1.25,
         }],
     }
 
@@ -64,15 +65,30 @@ class TestCompareRules:
         assert comparison.ok
         assert comparison.improvements
 
-    def test_replayed_steps_blowup_fails(self):
+    def test_replayed_steps_are_informational(self):
+        # The step counter is gated through the replayed_reduction
+        # ratio, not raw counts — a blowup shows up there instead.
         current = hotpath_doc()
         current["entries"][0]["runs"][1]["replayed_steps"] = 3000
-        assert compare_bench(hotpath_doc(), current).exit_code == 1
+        comparison = compare_bench(hotpath_doc(), current)
+        assert comparison.ok
+        assert any(v.metric == "replayed_steps" and v.status == "info"
+                   for v in comparison.values)
 
     def test_reduction_collapse_fails(self):
         current = hotpath_doc()
         current["entries"][0]["replayed_reduction"] = 1.1
         assert compare_bench(hotpath_doc(), current).exit_code == 1
+
+    def test_cache_speedup_collapse_fails(self):
+        # The wall-clock gate: the off/on ratio dropping past tolerance
+        # means the cache stopped winning in seconds.
+        current = hotpath_doc()
+        current["entries"][0]["cache_speedup"] = 0.9
+        comparison = compare_bench(hotpath_doc(), current)
+        assert comparison.exit_code == 1
+        assert any(v.metric == "cache_speedup"
+                   for v in comparison.regressions)
 
     def test_determinism_contract_is_exact(self):
         # One execution of drift is a regression, no tolerance applies.

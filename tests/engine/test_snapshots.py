@@ -77,8 +77,38 @@ class TestCacheLookup:
     def test_duplicate_capture_refreshes_without_copy(self):
         cache = PrefixSnapshotCache(interval=1)
         assert _entry(cache, [0, 1]) is True
+        assert cache.last_capture_outcome == "stored"
         assert _entry(cache, [0, 1]) is False
         assert len(cache) == 1 and cache.stored == 1
+        assert cache.refreshes == 1
+        assert cache.last_capture_outcome == "refreshed"
+        assert cache.last_capture_bytes == 0
+
+    def test_lookup_is_indexed_not_linear(self):
+        # A trie lookup touches only nodes on the guide path — the other
+        # cached entries, however many, are never visited.
+        cache = PrefixSnapshotCache(interval=1)
+        for i in range(1, 60):
+            _entry(cache, [1, i])
+        _entry(cache, [0])
+        _entry(cache, [0, 2])
+        hit = cache.lookup([0, 2, 1, 1])
+        assert hit is not None and hit.key == (0, 2)
+        assert cache.last_lookup_nodes <= 4  # len(guide), not entries
+        cache.lookup([5, 5, 5])
+        assert cache.last_lookup_nodes == 0  # no node down that branch
+
+    def test_lookup_index_tracks_eviction_and_invalidation(self):
+        cache = PrefixSnapshotCache(interval=1)
+        _entry(cache, [0])
+        _entry(cache, [0, 0])
+        _entry(cache, [0, 1])
+        cache.invalidate_not_prefix_of([0, 1])
+        assert cache.lookup([0, 0, 0]) is not None  # (0,) survived
+        assert cache.lookup([0, 0, 0]).key == (0,)  # (0, 0) dropped
+        assert cache.lookup([0, 1, 0]).key == (0, 1)
+        cache.clear()
+        assert cache.lookup([0, 1, 0]) is None
 
 
 class TestCacheBounds:
@@ -87,12 +117,28 @@ class TestCacheBounds:
             PrefixSnapshotCache(interval=0)
 
     def test_memory_budget_evicts_lru(self):
-        cache = PrefixSnapshotCache(interval=1, memory_budget_bytes=1)
+        # Budget holds one two-decision entry but not two entries.
+        probe = PrefixSnapshot(key=(0, 1), decisions=_decisions([0, 1]),
+                               steps=2)
+        cache = PrefixSnapshotCache(
+            interval=1, memory_budget_bytes=probe.estimated_bytes() + 1)
         _entry(cache, [0])
         _entry(cache, [0, 1])  # over budget: evict the LRU entry
         assert len(cache) == 1
         assert cache.evictions >= 1
         assert cache.lookup([0, 1, 1]) is not None  # newest survived
+
+    def test_oversized_entry_is_refused_not_pinned(self):
+        # An entry estimated over the whole budget must not be stored:
+        # eviction could never bring the cache back under budget.
+        cache = PrefixSnapshotCache(interval=1, memory_budget_bytes=1)
+        assert _entry(cache, [0]) is False
+        assert len(cache) == 0
+        assert cache.estimated_bytes == 0
+        assert cache.oversized == 1
+        assert cache.last_capture_outcome == "oversized"
+        assert cache.last_capture_bytes == 0
+        assert cache.evictions == 0
 
     def test_invalidate_not_prefix_of(self):
         cache = PrefixSnapshotCache(interval=1)
@@ -167,13 +213,16 @@ class TestExecutorIntegration:
         # Poison every cached entry so any restore diverges (a fabricated
         # decision names a thread that cannot be stepped).
         for key, entry in list(cache._entries.items()):
-            cache._entries[key] = PrefixSnapshot(
+            poisoned = PrefixSnapshot(
                 key=entry.key,
                 decisions=tuple(Decision("thread", 0, 1, 999)
                                 for _ in entry.decisions),
                 steps=entry.steps,
-                policy=entry.policy,
+                policy_state=entry.policy_state,
+                policy_fallback=entry.policy_fallback,
             )
+            cache._entries[key] = poisoned
+            cache._trie_insert(poisoned)
         record = run_execution(program, NonfairPolicy(),
                                GuidedChooser(guide), config,
                                snapshot_cache=cache)

@@ -9,14 +9,40 @@ compare everything observable.
 
 import pytest
 
+from repro.chaos.faults import FaultPlan, FaultRule, fault_plan
 from repro.checker import Checker
 from repro.obs import Observer
+from repro.runtime.native import NativeMutex, NativeProgram, NativeSharedVar
 from repro.workloads.boundedbuffer import bounded_buffer_program
 from repro.workloads.dining import dining_philosophers
 from repro.workloads.wsq import work_stealing_queue
 
 STRATEGIES = ["dfs", "bfs", "por", "icb", "random"]
 INTERVALS = [1, 4, 16]
+
+
+def native_counter_program():
+    """A small native-thread workload (two locked increments + a reader)."""
+    def setup(env):
+        lock = NativeMutex(name="L")
+        counter = NativeSharedVar(0, name="n")
+
+        def worker():
+            lock.acquire()
+            value = counter.get()
+            counter.set(value + 1)
+            lock.release()
+
+        for i in range(2):
+            env.spawn(worker, name=f"w{i}")
+
+        def reader():
+            counter.get()
+
+        env.spawn(reader, name="r")
+        env.set_state_fn(lambda: (counter.peek(), lock.owner_name()))
+
+    return NativeProgram(setup, name="native-counter-diff")
 
 
 def _run(program_factory, *, snapshot_cache, snapshot_interval=16,
@@ -104,3 +130,80 @@ class TestWorkloadDifferentials:
             snapshot_cache=True, snapshot_interval=interval, **kwargs)
         assert cached == baseline
         assert metrics.counter("snapshot.hits").value > 0
+
+
+class TestNativeRuntimeDifferentials:
+    """The native runtime now advertises ``supports_snapshot`` (restore
+    drives fresh OS threads through the recorded decision log), so the
+    bit-for-bit guarantee must hold there too — across the same
+    strategy × interval matrix as the VM."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("interval", INTERVALS)
+    def test_identical_results(self, strategy, interval):
+        kwargs = dict(depth_bound=120, max_executions=80)
+        if strategy == "random":
+            kwargs["random_executions"] = 20
+        baseline, _ = _run(
+            native_counter_program, strategy=strategy,
+            snapshot_cache=False, snapshot_interval=interval, **kwargs)
+        cached, metrics = _run(
+            native_counter_program, strategy=strategy,
+            snapshot_cache=True, snapshot_interval=interval, **kwargs)
+        assert cached == baseline
+        if strategy != "random" and interval == 1:
+            assert metrics.counter("snapshot.hits").value > 0
+
+    def test_native_coverage_totals_match(self):
+        kwargs = dict(depth_bound=120, max_executions=80, coverage=True)
+        baseline, _ = _run(native_counter_program, snapshot_cache=False,
+                           snapshot_interval=4, **kwargs)
+        cached, metrics = _run(native_counter_program, snapshot_cache=True,
+                               snapshot_interval=4, **kwargs)
+        assert cached == baseline
+        assert metrics.counter("snapshot.hits").value > 0
+        restored = metrics.counter("executions.restored_steps").value
+        replayed = metrics.counter("executions.replayed_steps").value
+        assert restored > replayed  # the cache carries most of the prefix
+
+
+class TestRestoreCrashFallback:
+    """Chaos plane at the ``snapshot.restore`` fault point: an injected
+    restore failure must clear the cache and transparently fall back to
+    a full replay, leaving the results bit-for-bit unchanged."""
+
+    @pytest.mark.parametrize("make_program,label", [
+        (lambda: dining_philosophers(2), "vm"),
+        (native_counter_program, "native"),
+    ])
+    def test_injected_restore_fault_falls_back(self, make_program, label):
+        kwargs = dict(depth_bound=120, max_executions=80)
+        baseline, _ = _run(make_program, snapshot_cache=False,
+                           snapshot_interval=1, **kwargs)
+        # Every restore attempt faults: the cache is cleared on the
+        # first hit, repopulates, and faults again on the next lookup.
+        plan = FaultPlan(rules=[FaultRule(point="snapshot.restore",
+                                          kind="eio", at=1, times=10 ** 9)],
+                         name="restore-eio")
+        with fault_plan(plan) as injector:
+            faulted, metrics = _run(make_program, snapshot_cache=True,
+                                    snapshot_interval=1, **kwargs)
+        assert faulted == baseline
+        assert any(f.point == "snapshot.restore" for f in injector.fired)
+        # Nothing was ever restored: every hit fell back to full replay.
+        assert metrics.counter("executions.restored_steps").value == 0
+
+    def test_single_restore_fault_recovers(self):
+        kwargs = dict(depth_bound=120, max_executions=80)
+        baseline, _ = _run(native_counter_program, snapshot_cache=False,
+                           snapshot_interval=1, **kwargs)
+        plan = FaultPlan(rules=[FaultRule(point="snapshot.restore",
+                                          kind="eio", at=1, times=1)],
+                         name="restore-eio-once")
+        with fault_plan(plan):
+            faulted, metrics = _run(native_counter_program,
+                                    snapshot_cache=True,
+                                    snapshot_interval=1, **kwargs)
+        assert faulted == baseline
+        # After the one fault the repopulated cache serves hits again.
+        assert metrics.counter("executions.restored_steps").value > 0
